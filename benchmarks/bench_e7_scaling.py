@@ -1,0 +1,42 @@
+"""E7 — message/time complexity of one PIF wave as a function of n.
+
+The algorithm predicts: per wave, the initiator completes a constant number
+(max_state = 4) of handshake round trips with each of its n-1 peers, so the
+message cost per wave grows linearly in n and the wave latency stays nearly
+flat (the handshakes proceed in parallel).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analysis.runner import pif_scaling_row
+from repro.analysis.tables import render_table
+
+NS = [2, 3, 5, 8, 12]
+
+
+def run_experiment():
+    return [pif_scaling_row(n, seeds=[0, 1, 2]) for n in NS]
+
+
+def test_e7_scaling(benchmark):
+    rows_raw = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [r["n"], r["messages_mean"], r["messages_per_peer"], r["duration_mean"]]
+        for r in rows_raw
+    ]
+    report(
+        "E7 — PIF wave cost vs system size",
+        render_table(
+            ["n", "messages/wave", "messages/peer", "wave duration"], rows
+        )
+        + "\nexpected shape: messages linear in n (constant per peer), "
+        "duration ~flat (parallel handshakes)",
+    )
+    # Linear message growth: per-peer cost stays within a constant band.
+    per_peer = [r["messages_per_peer"] for r in rows_raw]
+    assert max(per_peer) <= 3 * min(per_peer)
+    # Latency nearly flat: the largest system is < 3x the smallest.
+    durations = [r["duration_mean"] for r in rows_raw]
+    assert max(durations) <= 3 * max(durations[0], 1)

@@ -1,0 +1,86 @@
+"""E8 — ablations: each design choice of the paper is load-bearing.
+
+* E8a: flag domain {0..k} with k < 4 lets a capacity-legal adversary make
+  the initiator decide without the peer receiving the broadcast; k = 4 (the
+  paper's choice) resists the same adversary (Lemma 4).
+* E8b: the literal ``mod (n+1)`` of action A7 starves the system (it
+  contradicts the paper's own Lemma 11); the corrected ``mod n`` serves
+  every request.
+* E8c: the paper's naive PIF sketch deadlocks under loss and believes
+  stale feedback; Protocol PIF does neither.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analysis.ablations import (
+    run_flag_ablation,
+    run_modulus_ablation,
+    run_naive_ablation,
+)
+from repro.analysis.tables import render_table
+
+
+def test_e8a_flag_domain(benchmark):
+    results = benchmark.pedantic(
+        lambda: [run_flag_ablation(k) for k in (1, 2, 3, 4, 5)],
+        rounds=1, iterations=1,
+    )
+    report(
+        "E8a — handshake flag domain ablation",
+        render_table(
+            ["max_state", "decided", "spec_ok", "first violation"],
+            [r.row() for r in results],
+        )
+        + "\npaper (Lemma 4): 5 values {0..4} are necessary and sufficient "
+        "for capacity-1 channels",
+    )
+    by_k = {r.max_state: r for r in results}
+    assert all(not by_k[k].spec_ok for k in (1, 2, 3))
+    assert all(by_k[k].spec_ok for k in (4, 5))
+
+
+def test_e8b_value_modulus(benchmark):
+    row = benchmark.pedantic(
+        lambda: run_modulus_ablation(n=3, requests_per_process=3,
+                                     horizon=120_000),
+        rounds=1, iterations=1,
+    )
+    report(
+        "E8b — A7 modulus ablation (paper's mod n+1 vs corrected mod n)",
+        render_table(
+            ["n", "requested", "mod(n+1) served", "mod(n+1) done",
+             "mod n served", "mod n done"],
+            [[row["n"], row["requested"], row["paper_mod_served"],
+              row["paper_mod_completed"], row["fixed_mod_served"],
+              row["fixed_mod_completed"]]],
+        )
+        + "\nmod (n+1) reaches the dead value n and stalls -> the paper's "
+        "A7 line is a typo (contradicts Lemma 11)",
+    )
+    assert not row["paper_mod_completed"]
+    assert row["fixed_mod_completed"]
+
+
+def test_e8c_naive_pif(benchmark):
+    row = benchmark.pedantic(
+        lambda: run_naive_ablation(seeds=list(range(8)), loss=0.3,
+                                   horizon=25_000),
+        rounds=1, iterations=1,
+    )
+    report(
+        "E8c — naive PIF (Section 4.1 sketch) vs Protocol PIF",
+        render_table(
+            ["configs", "loss", "naive deadlocks", "naive violations",
+             "PIF deadlocks", "PIF violations"],
+            [[row["configs"], row["loss"], row["naive_deadlocks"],
+              row["naive_safety_violations"], row["pif_deadlocks"],
+              row["pif_safety_violations"]]],
+        )
+        + "\npaper: the naive scheme suffers exactly failure modes (1) "
+        "deadlock and (2) stale feedback",
+    )
+    assert row["pif_deadlocks"] == 0
+    assert row["pif_safety_violations"] == 0
+    assert row["naive_deadlocks"] + row["naive_safety_violations"] > 0

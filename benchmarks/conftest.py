@@ -1,0 +1,23 @@
+"""Benchmark-suite plumbing.
+
+Each bench regenerates one experiment table (E1-E9 in DESIGN.md).  Tables
+are collected via :func:`report` and printed in the terminal summary so the
+``pytest benchmarks/ --benchmark-only`` transcript contains every table.
+"""
+
+from __future__ import annotations
+
+_REPORTS: list[str] = []
+
+
+def report(title: str, body: str) -> None:
+    """Queue an experiment table for the end-of-run summary."""
+    _REPORTS.append(f"\n=== {title} ===\n{body}")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("experiment tables (paper reproduction)")
+    for entry in _REPORTS:
+        terminalreporter.write_line(entry)

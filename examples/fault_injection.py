@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fault-injection tour: how much abuse Protocol PIF absorbs.
+
+Three adversaries attack the same broadcast:
+
+* heavy Bernoulli message loss (50%),
+* an adversarial prefix that eats the first 30 messages of every tag,
+* a fresh arbitrary initial configuration for every round.
+
+Specification 1 is checked after every round — the point of
+snap-stabilization is that the *first* requested computation is already
+correct; there is no convergence period to wait out.
+
+Run:  python examples/fault_injection.py
+"""
+
+from __future__ import annotations
+
+from repro import PifLayer, RequestState, Simulator
+from repro.sim.channel import BernoulliLoss, DropFirstK
+from repro.spec.pif_spec import check_pif
+
+N = 4
+ROUNDS = 5
+
+
+def attack(name: str, loss_model, seed: int) -> None:
+    sim = Simulator(
+        N, lambda h: h.register(PifLayer("pif")), seed=seed, loss=loss_model
+    )
+    sim.scramble(seed=seed * 13 + 1)
+    layer = sim.layer(1, "pif")
+    layer.request_broadcast(f"payload-{seed}")
+    done = sim.run(3_000_000, until=lambda s: layer.request is RequestState.DONE)
+    assert done, f"{name}: wave never decided"
+    verdict = check_pif(sim.trace, "pif", sim.pids, require_all_decided=False)
+    stats = sim.stats
+    print(
+        f"  {name:<22} seed={seed}: decided t={sim.now:>6}  "
+        f"sent={stats.sent:>4} lost={stats.dropped:>4} "
+        f"spec={'OK' if verdict.ok else 'VIOLATED'}"
+    )
+    assert verdict.ok, verdict.summary()
+
+
+def main() -> None:
+    print(f"PIF broadcast on {N} processes under three adversaries, "
+          f"{ROUNDS} rounds each:\n")
+    print("Adversary 1: 50% Bernoulli loss + scrambled start")
+    for seed in range(ROUNDS):
+        attack("bernoulli-50%", BernoulliLoss(0.5), seed)
+
+    print("\nAdversary 2: first 30 messages of every tag destroyed + scramble")
+    for seed in range(ROUNDS):
+        attack("drop-first-30", DropFirstK(30), seed)
+
+    print("\nAdversary 3: pure arbitrary initial configuration (no loss)")
+    for seed in range(ROUNDS):
+        attack("scramble-only", None, seed)
+
+    print("\nEvery requested broadcast satisfied Specification 1 on the "
+          "first try — no stabilization delay. ✓")
+
+
+if __name__ == "__main__":
+    main()

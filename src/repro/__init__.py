@@ -1,0 +1,60 @@
+"""repro — Snap-Stabilization in Message-Passing Systems.
+
+A complete, executable reproduction of Delaët, Devismes, Nesterenko &
+Tixeuil, *Snap-Stabilization in Message-Passing Systems* (INRIA RR-6446 /
+PODC 2008): the message-passing simulator substrate, the three
+snap-stabilizing protocols (PIF, IDs-Learning, Mutual Exclusion), the
+Theorem 1 impossibility construction, specification checkers, baselines,
+PIF-based applications, and the experiment harness.
+
+Quickstart::
+
+    from repro import Simulator, PifLayer, RequestDriver
+
+    sim = Simulator(3, lambda host: host.register(PifLayer("pif")))
+    sim.scramble(seed=42)                       # arbitrary initial configuration
+    sim.layer(1, "pif").request_broadcast("hello")
+    sim.run(max_time=2_000)
+"""
+
+from repro.core import (
+    IdlLayer,
+    MutexLayer,
+    PifClient,
+    PifLayer,
+    PifMessage,
+    RequestDriver,
+)
+from repro.errors import ReproError, SpecificationViolation
+from repro.sim import (
+    BernoulliLoss,
+    EventKind,
+    Network,
+    NoLoss,
+    Simulator,
+    Trace,
+)
+from repro.types import ProcessId, RequestState, Time
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BernoulliLoss",
+    "EventKind",
+    "IdlLayer",
+    "MutexLayer",
+    "Network",
+    "NoLoss",
+    "PifClient",
+    "PifLayer",
+    "PifMessage",
+    "ProcessId",
+    "ReproError",
+    "RequestDriver",
+    "RequestState",
+    "Simulator",
+    "SpecificationViolation",
+    "Time",
+    "Trace",
+    "__version__",
+]

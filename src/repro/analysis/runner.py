@@ -1,0 +1,254 @@
+"""Experiment runners: one function per trial type, plus parameter sweeps.
+
+Each trial builds a fresh seeded simulator, optionally scrambles it into an
+arbitrary initial configuration, drives requests, runs to completion, checks
+the relevant specification, and returns a flat result dict ready for table
+rendering (experiments E3, E4, E5, E7 of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.idl import IdlLayer
+from repro.core.mutex import MutexLayer
+from repro.core.pif import PifLayer
+from repro.core.requests import RequestDriver
+from repro.errors import SimulationError
+from repro.sim.channel import BernoulliLoss, NoLoss
+from repro.sim.runtime import Simulator
+from repro.spec.idl_spec import check_idl
+from repro.spec.mutex_spec import check_mutex
+from repro.spec.pif_spec import check_pif
+from repro.spec.waves import extract_waves
+from repro.analysis.metrics import summarize
+
+__all__ = [
+    "TrialResult",
+    "run_pif_trial",
+    "run_idl_trial",
+    "run_mutex_trial",
+    "sweep_pif",
+    "sweep_mutex",
+    "pif_scaling_row",
+]
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one trial: verdict plus measurements."""
+
+    params: dict[str, Any]
+    ok: bool
+    violations: int
+    measurements: dict[str, Any] = field(default_factory=dict)
+
+    def row(self, *keys: str) -> list[Any]:
+        merged = {**self.params, **self.measurements, "ok": self.ok,
+                  "violations": self.violations}
+        return [merged.get(k) for k in keys]
+
+
+def _loss_model(loss: float):
+    return BernoulliLoss(loss) if loss > 0 else NoLoss()
+
+
+def run_pif_trial(
+    n: int,
+    *,
+    seed: int = 0,
+    loss: float = 0.0,
+    requests_per_process: int = 2,
+    scramble: bool = True,
+    capacity: int = 1,
+    max_state: int | None = None,
+    horizon: int = 2_000_000,
+) -> TrialResult:
+    """One PIF trial (E3): all processes broadcast; Specification 1 checked."""
+    if max_state is None:
+        max_state = capacity + 3
+    sim = Simulator(
+        n,
+        lambda h: h.register(PifLayer("pif", max_state=max_state)),
+        seed=seed,
+        loss=_loss_model(loss),
+        capacity=capacity,
+    )
+    if scramble:
+        sim.scramble(seed=seed ^ 0x5EED)
+    driver = RequestDriver(
+        sim, "pif", requests_per_process=requests_per_process,
+        payload=lambda pid, k: f"msg-{pid}-{k}",
+    )
+    completed = sim.run(horizon, until=lambda s: driver.done)
+    if not completed:
+        raise SimulationError(f"PIF trial did not finish within t={horizon}")
+    sim.run(sim.now + 200)  # drain never-started computations
+    finals = {p: sim.layer(p, "pif").request for p in sim.pids}
+    verdict = check_pif(sim.trace, "pif", sim.pids, final_requests=finals)
+    waves = [w for w in extract_waves(sim.trace, "pif") if w.decided]
+    durations = [w.duration for w in waves if w.duration is not None]
+    return TrialResult(
+        params={"n": n, "seed": seed, "loss": loss, "capacity": capacity},
+        ok=verdict.ok,
+        violations=len(verdict.violations),
+        measurements={
+            "waves": len(waves),
+            "messages": sim.stats.sent,
+            "msg_per_wave": round(sim.stats.sent / max(1, len(waves)), 1),
+            "wave_p50": summarize(durations).p50 if durations else 0,
+            "wave_p95": summarize(durations).p95 if durations else 0,
+            "final_time": sim.now,
+        },
+    )
+
+
+def run_idl_trial(
+    n: int,
+    *,
+    seed: int = 0,
+    loss: float = 0.0,
+    requests_per_process: int = 2,
+    scramble: bool = True,
+    idents: dict[int, int] | None = None,
+    horizon: int = 2_000_000,
+) -> TrialResult:
+    """One IDL trial (E4): Specification 2 checked against ground truth."""
+
+    def build(host) -> None:
+        ident = idents[host.pid] if idents else None
+        host.register(IdlLayer("idl", ident=ident))
+
+    sim = Simulator(n, build, seed=seed, loss=_loss_model(loss))
+    truth = {p: (idents[p] if idents else p) for p in sim.pids}
+    if scramble:
+        sim.scramble(seed=seed ^ 0x5EED)
+    driver = RequestDriver(sim, "idl", requests_per_process=requests_per_process)
+    completed = sim.run(horizon, until=lambda s: driver.done)
+    if not completed:
+        raise SimulationError(f"IDL trial did not finish within t={horizon}")
+    sim.run(sim.now + 200)
+    finals = {p: sim.layer(p, "idl").request for p in sim.pids}
+    verdict = check_idl(sim.trace, "idl", truth, final_requests=finals)
+    latencies = driver.latencies()
+    return TrialResult(
+        params={"n": n, "seed": seed, "loss": loss},
+        ok=verdict.ok,
+        violations=len(verdict.violations),
+        measurements={
+            "computations": verdict.info.get("computations", 0),
+            "messages": sim.stats.sent,
+            "latency_p50": summarize(latencies).p50 if latencies else 0,
+            "final_time": sim.now,
+        },
+    )
+
+
+def run_mutex_trial(
+    n: int,
+    *,
+    seed: int = 0,
+    loss: float = 0.0,
+    requests_per_process: int = 2,
+    scramble: bool = True,
+    cs_duration: int = 3,
+    use_paper_modulus: bool = False,
+    horizon: int = 6_000_000,
+    require_completion: bool = True,
+) -> TrialResult:
+    """One ME trial (E5): Specification 3 checked over the full trace."""
+    sim = Simulator(
+        n,
+        lambda h: h.register(
+            MutexLayer("me", cs_duration=cs_duration,
+                       use_paper_modulus=use_paper_modulus)
+        ),
+        seed=seed,
+        loss=_loss_model(loss),
+    )
+    if scramble:
+        sim.scramble(seed=seed ^ 0x5EED)
+    driver = RequestDriver(sim, "me", requests_per_process=requests_per_process)
+    completed = sim.run(horizon, until=lambda s: driver.done)
+    if require_completion and not completed:
+        raise SimulationError(f"ME trial did not finish within t={horizon}")
+    verdict = check_mutex(
+        sim.trace, "me", horizon=sim.now, require_all_served=completed
+    )
+    latencies = driver.latencies()
+    return TrialResult(
+        params={"n": n, "seed": seed, "loss": loss},
+        ok=verdict.ok and (completed or not require_completion),
+        violations=len(verdict.violations),
+        measurements={
+            "served": driver.total_completed(),
+            "requested": requests_per_process * n,
+            "completed": completed,
+            "cs_count": verdict.info.get("cs_count", 0),
+            "messages": sim.stats.sent,
+            "latency_p50": summarize(latencies).p50 if latencies else 0,
+            "latency_p95": summarize(latencies).p95 if latencies else 0,
+            "final_time": sim.now,
+        },
+    )
+
+
+def sweep_pif(
+    ns: list[int],
+    losses: list[float],
+    seeds: list[int],
+    **kwargs: Any,
+) -> list[TrialResult]:
+    """E3 sweep: PIF across system sizes, loss rates and scrambles."""
+    return [
+        run_pif_trial(n, seed=seed, loss=loss, **kwargs)
+        for n in ns
+        for loss in losses
+        for seed in seeds
+    ]
+
+
+def sweep_mutex(
+    ns: list[int],
+    losses: list[float],
+    seeds: list[int],
+    **kwargs: Any,
+) -> list[TrialResult]:
+    """E5 sweep: ME across system sizes, loss rates and scrambles."""
+    return [
+        run_mutex_trial(n, seed=seed, loss=loss, **kwargs)
+        for n in ns
+        for loss in losses
+        for seed in seeds
+    ]
+
+
+def pif_scaling_row(n: int, *, seeds: list[int], loss: float = 0.0) -> dict[str, Any]:
+    """E7: message/latency cost of one wave as a function of n.
+
+    One requesting initiator; the cost of a complete wave is Θ(n) messages
+    per resend round and a constant number (max_state) of round trips.
+    """
+    msg_counts: list[int] = []
+    durations: list[int] = []
+    for seed in seeds:
+        sim = Simulator(
+            n, lambda h: h.register(PifLayer("pif")), seed=seed
+        )
+        layer = sim.layer(sim.pids[0], "pif")
+        layer.request_broadcast("scale")
+        from repro.types import RequestState
+
+        done = sim.run(500_000, until=lambda s: layer.request is RequestState.DONE)
+        if not done:
+            raise SimulationError(f"scaling wave (n={n}, seed={seed}) never decided")
+        waves = [w for w in extract_waves(sim.trace, "pif") if w.decided]
+        msg_counts.append(sim.stats.sent)
+        durations.append(waves[0].duration or 0)
+    return {
+        "n": n,
+        "messages_mean": round(sum(msg_counts) / len(msg_counts), 1),
+        "messages_per_peer": round(sum(msg_counts) / len(msg_counts) / (n - 1), 1),
+        "duration_mean": round(sum(durations) / len(durations), 1),
+    }

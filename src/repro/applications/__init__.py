@@ -1,0 +1,27 @@
+"""PIF-based applications: the protocols the paper says PIF enables."""
+
+from repro.applications.aggregation import AGG, AggregationLayer
+from repro.applications.leader_election import LeaderElectionLayer
+from repro.applications.phase_sync import BAR, BarrierLayer
+from repro.applications.reset import RESET, ResetLayer
+from repro.applications.snapshot import SNAP, SnapshotLayer
+from repro.applications.termination_detection import (
+    PROBE,
+    ObservedComputation,
+    TerminationDetectorLayer,
+)
+
+__all__ = [
+    "AGG",
+    "AggregationLayer",
+    "BAR",
+    "BarrierLayer",
+    "LeaderElectionLayer",
+    "ObservedComputation",
+    "PROBE",
+    "RESET",
+    "ResetLayer",
+    "SNAP",
+    "SnapshotLayer",
+    "TerminationDetectorLayer",
+]

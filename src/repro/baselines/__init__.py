@@ -1,0 +1,15 @@
+"""Baselines and comparators: naive PIF, self-stabilizing mutex, ABP."""
+
+from repro.baselines.abp import AbpMessage, AbpReceiverLayer, AbpSenderLayer
+from repro.baselines.naive_pif import NaiveMessage, NaivePifLayer
+from repro.baselines.self_stab_mutex import TokenMessage, TokenMutexLayer
+
+__all__ = [
+    "AbpMessage",
+    "AbpReceiverLayer",
+    "AbpSenderLayer",
+    "NaiveMessage",
+    "NaivePifLayer",
+    "TokenMessage",
+    "TokenMutexLayer",
+]

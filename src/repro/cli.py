@@ -1,0 +1,225 @@
+"""Command-line interface: run any experiment and print its table.
+
+Usage::
+
+    python -m repro list                      # available experiments
+    python -m repro figure1                   # E1
+    python -m repro impossibility --n 3       # E2
+    python -m repro pif --n 4 --loss 0.2      # E3-style trial
+    python -m repro mutex --n 4 --seeds 0 1 2 # E5-style trials
+    python -m repro compare --seeds 0 1 2 3   # E6
+    python -m repro ablations                 # E8
+    python -m repro property1                 # E9a
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.ablations import (
+    run_flag_ablation,
+    run_modulus_ablation,
+    run_naive_ablation,
+)
+from repro.analysis.compare import aggregate_comparison, compare_mutex_protocols
+from repro.analysis.experiments import (
+    run_capacity_sweep,
+    run_figure1,
+    run_impossibility_experiment,
+    run_property1_check,
+)
+from repro.analysis.runner import (
+    pif_scaling_row,
+    run_idl_trial,
+    run_mutex_trial,
+    run_pif_trial,
+)
+from repro.analysis.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "figure1", "impossibility", "pif", "idl", "mutex",
+    "compare", "scaling", "ablations", "property1", "capacity",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Snap-stabilization in message-passing systems — experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    p = sub.add_parser("figure1", help="E1: Figure 1 worst-case handshake")
+    p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+
+    p = sub.add_parser("impossibility", help="E2: Theorem 1 construction")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+
+    for name, helptext in (
+        ("pif", "E3: PIF snap-stabilization trials"),
+        ("idl", "E4: IDs-Learning trials"),
+        ("mutex", "E5: mutual-exclusion trials"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--n", type=int, default=3)
+        p.add_argument("--loss", type=float, default=0.1)
+        p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+        p.add_argument("--requests", type=int, default=2)
+
+    p = sub.add_parser("compare", help="E6: snap vs self-stabilization")
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--seeds", type=int, nargs="+", default=list(range(6)))
+
+    p = sub.add_parser("scaling", help="E7: wave cost vs system size")
+    p.add_argument("--ns", type=int, nargs="+", default=[2, 3, 5, 8])
+    p.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+
+    sub.add_parser("ablations", help="E8: flag domain / modulus / naive PIF")
+
+    p = sub.add_parser("property1", help="E9a: channel flushing")
+    p.add_argument("--n", type=int, default=4)
+
+    p = sub.add_parser("capacity", help="E9b: capacity-c extension")
+    p.add_argument("--capacities", type=int, nargs="+", default=[1, 2, 4])
+
+    return parser
+
+
+def _cmd_figure1(args) -> str:
+    results = [run_figure1(seed=s) for s in args.seeds]
+    return render_table(
+        ["seed", "spurious", "brd@q", "fck@p", "decide", "spec_ok"],
+        [[s, r.spurious_level, r.brd_time, r.fck_time, r.decide_time, r.spec_ok]
+         for s, r in zip(args.seeds, results)],
+        title="E1 / Figure 1 — worst-case handshake",
+    )
+
+
+def _cmd_impossibility(args) -> str:
+    row = run_impossibility_experiment(n=args.n, seed=args.seed)
+    return render_table(
+        list(row.keys()), [list(row.values())],
+        title="E2 / Theorem 1 — impossibility construction",
+    )
+
+
+def _cmd_trials(args, runner, title: str) -> str:
+    trials = [
+        runner(args.n, seed=s, loss=args.loss,
+               requests_per_process=args.requests)
+        for s in args.seeds
+    ]
+    keys = ["n", "seed", "loss", "ok", "violations"]
+    extra = sorted(
+        k for k in trials[0].measurements if isinstance(
+            trials[0].measurements[k], (int, float, bool))
+    )
+    return render_table(
+        keys + extra,
+        [t.row(*(keys + extra)) for t in trials],
+        title=title,
+    )
+
+
+def _cmd_compare(args) -> str:
+    results = compare_mutex_protocols(n=args.n, seeds=args.seeds,
+                                      horizon=800_000)
+    agg = aggregate_comparison(results)
+    table = render_table(
+        ["seed", "snap viol", "snap served", "self viol", "self served",
+         "self last viol"],
+        [r.row() for r in results],
+        title="E6 — snap vs self-stabilization",
+    )
+    return table + f"\naggregate: {agg}"
+
+
+def _cmd_scaling(args) -> str:
+    rows = [pif_scaling_row(n, seeds=args.seeds) for n in args.ns]
+    return render_table(
+        ["n", "messages/wave", "messages/peer", "duration"],
+        [[r["n"], r["messages_mean"], r["messages_per_peer"],
+          r["duration_mean"]] for r in rows],
+        title="E7 — PIF wave cost vs n",
+    )
+
+
+def _cmd_ablations(_args) -> str:
+    flag_rows = [run_flag_ablation(k).row() for k in (1, 2, 3, 4, 5)]
+    parts = [
+        render_table(
+            ["max_state", "decided", "spec_ok", "first violation"],
+            flag_rows, title="E8a — flag-domain ablation",
+        )
+    ]
+    mod = run_modulus_ablation(horizon=120_000)
+    parts.append(render_table(
+        list(mod.keys()), [list(mod.values())],
+        title="E8b — A7 modulus ablation",
+    ))
+    naive = run_naive_ablation(seeds=list(range(6)), horizon=25_000)
+    parts.append(render_table(
+        list(naive.keys()), [list(naive.values())],
+        title="E8c — naive PIF ablation",
+    ))
+    return "\n\n".join(parts)
+
+
+def _cmd_property1(args) -> str:
+    row = run_property1_check(n=args.n)
+    return render_table(
+        list(row.keys()), [list(row.values())],
+        title="E9a / Property 1 — channel flushing",
+    )
+
+
+def _cmd_capacity(args) -> str:
+    rows = run_capacity_sweep(args.capacities)
+    return render_table(
+        ["capacity", "max_state", "trials", "ok", "violations"],
+        [[r["capacity"], r["max_state"], r["trials"], r["ok"],
+          r["violations"]] for r in rows],
+        title="E9b — capacity extension",
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("\n".join(_EXPERIMENTS))
+        return 0
+    if args.command == "figure1":
+        output = _cmd_figure1(args)
+    elif args.command == "impossibility":
+        output = _cmd_impossibility(args)
+    elif args.command == "pif":
+        output = _cmd_trials(args, run_pif_trial, "E3 — PIF trials")
+    elif args.command == "idl":
+        output = _cmd_trials(args, run_idl_trial, "E4 — IDL trials")
+    elif args.command == "mutex":
+        output = _cmd_trials(args, run_mutex_trial, "E5 — ME trials")
+    elif args.command == "compare":
+        output = _cmd_compare(args)
+    elif args.command == "scaling":
+        output = _cmd_scaling(args)
+    elif args.command == "ablations":
+        output = _cmd_ablations(args)
+    elif args.command == "property1":
+        output = _cmd_property1(args)
+    elif args.command == "capacity":
+        output = _cmd_capacity(args)
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""The paper's protocols: PIF (Alg. 1), IDL (Alg. 2), ME (Alg. 3)."""
+
+from repro.core.idl import IDL_PAYLOAD, IdlLayer
+from repro.core.messages import PifMessage
+from repro.core.mutex import ASK, EXIT, EXITCS, NO, OK, YES, MutexLayer
+from repro.core.pif import DEFAULT_MAX_STATE, PifClient, PifLayer
+from repro.core.requests import CompletedRequest, RequestDriver
+
+__all__ = [
+    "ASK",
+    "CompletedRequest",
+    "DEFAULT_MAX_STATE",
+    "EXIT",
+    "EXITCS",
+    "IDL_PAYLOAD",
+    "IdlLayer",
+    "MutexLayer",
+    "NO",
+    "OK",
+    "PifClient",
+    "PifLayer",
+    "PifMessage",
+    "RequestDriver",
+    "YES",
+]

@@ -1,0 +1,42 @@
+"""Message formats.
+
+The paper uses a single message type ``⟨PIF, B-Mes, F-Mes, State, NeigState⟩``
+to manage all PIF computations of one protocol instance
+(Section 4.1).  :class:`PifMessage` mirrors it field by field:
+
+* ``broadcast`` — the sender's broadcast payload (``B-Mes_p``),
+* ``feedback`` — the sender's feedback for the receiver (``F-Mes_p[q]``),
+* ``state`` — the sender's handshake flag for its own broadcast
+  (``State_p[q]``),
+* ``echo`` — the sender's view of the receiver's flag (``NeigState_p[q]``).
+
+``debug_wave`` is **not part of the protocol**: it is verification-only
+metadata identifying which started computation a message belongs to, so the
+specification checkers can tell genuine broadcasts from initial garbage.  No
+protocol action ever reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["PifMessage"]
+
+
+@dataclass(frozen=True)
+class PifMessage:
+    """The single message type of Protocol PIF (Algorithm 1)."""
+
+    tag: str
+    broadcast: Any
+    feedback: Any
+    state: int
+    echo: int
+    debug_wave: tuple[int, int] | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PIF⟨{self.tag}, b={self.broadcast!r}, f={self.feedback!r}, "
+            f"s={self.state}, e={self.echo}⟩"
+        )

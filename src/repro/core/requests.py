@@ -1,0 +1,142 @@
+"""External request drivers.
+
+The paper's protocols are *functions* invoked by an external application:
+the application sets ``Request ← Wait`` and, by Hypothesis 1, never
+re-requests before ``Request = Done``.  :class:`RequestDriver` mechanizes
+that application for any requestable layer (PIF, IDL, ME), recording issue
+and completion times so experiments can report service latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.errors import ProtocolError
+from repro.types import RequestState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.runtime import Simulator
+
+__all__ = ["CompletedRequest", "RequestDriver"]
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """One serviced request, for latency accounting."""
+
+    pid: int
+    issued_at: int
+    completed_at: int
+
+    @property
+    def latency(self) -> int:
+        return self.completed_at - self.issued_at
+
+
+@dataclass
+class _PerProcess:
+    remaining: int
+    next_issue_at: int
+    issued_at: int | None = None  # time of the outstanding request, if any
+    completed: list[CompletedRequest] = field(default_factory=list)
+
+
+class RequestDriver:
+    """Issues up to ``requests_per_process`` requests at each process.
+
+    The driver polls every ``poll`` ticks.  It issues a request only when the
+    layer's ``request`` variable is ``Done`` (Hypothesis 1) — in particular,
+    from an arbitrary initial configuration it first waits out any
+    never-started computation the scramble left behind (the Termination
+    property guarantees that wait is finite).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        tag: str,
+        *,
+        pids: Sequence[int] | None = None,
+        requests_per_process: int = 1,
+        first_at: int = 0,
+        think_time: int = 2,
+        poll: int = 1,
+        payload: Callable[[int, int], Any] | None = None,
+    ) -> None:
+        if requests_per_process < 0:
+            raise ProtocolError(
+                f"requests_per_process must be >= 0, got {requests_per_process}"
+            )
+        self.sim = sim
+        self.tag = tag
+        self.think_time = think_time
+        self.poll = max(1, poll)
+        self.payload = payload
+        self._per_process: dict[int, _PerProcess] = {
+            pid: _PerProcess(remaining=requests_per_process, next_issue_at=first_at)
+            for pid in (pids if pids is not None else sim.pids)
+        }
+        self._issue_counter: dict[int, int] = {pid: 0 for pid in self._per_process}
+        sim.scheduler.schedule_at(first_at, self._tick)
+
+    # -- polling --------------------------------------------------------------
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        for pid, slot in self._per_process.items():
+            layer = self.sim.layer(pid, self.tag)
+            if slot.issued_at is not None:
+                # Outstanding request: complete it when the layer decides.
+                if layer.request is RequestState.DONE:
+                    slot.completed.append(
+                        CompletedRequest(pid, slot.issued_at, now)
+                    )
+                    slot.issued_at = None
+                    slot.next_issue_at = now + self.think_time
+                continue
+            if slot.remaining <= 0 or now < slot.next_issue_at:
+                continue
+            if layer.request is not RequestState.DONE:
+                continue  # Hypothesis 1: never re-request before Done
+            self._issue(pid, layer)
+            slot.remaining -= 1
+            slot.issued_at = now
+        if self._unfinished():
+            self.sim.scheduler.schedule_in(self.poll, self._tick)
+
+    def _issue(self, pid: int, layer: Any) -> None:
+        count = self._issue_counter[pid]
+        self._issue_counter[pid] = count + 1
+        if self.payload is not None:
+            layer.external_request(self.payload(pid, count))
+        else:
+            layer.external_request()
+
+    def _unfinished(self) -> bool:
+        return any(
+            slot.remaining > 0 or slot.issued_at is not None
+            for slot in self._per_process.values()
+        )
+
+    # -- results ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True when every planned request has been issued and serviced."""
+        return not self._unfinished()
+
+    def completed(self, pid: int | None = None) -> list[CompletedRequest]:
+        if pid is not None:
+            return list(self._per_process[pid].completed)
+        result: list[CompletedRequest] = []
+        for slot in self._per_process.values():
+            result.extend(slot.completed)
+        result.sort(key=lambda r: r.completed_at)
+        return result
+
+    def total_completed(self) -> int:
+        return sum(len(s.completed) for s in self._per_process.values())
+
+    def latencies(self) -> list[int]:
+        return [r.latency for r in self.completed()]

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an inconsistent state."""
+
+
+class SchedulerError(SimulationError):
+    """Misuse of the discrete-event scheduler (e.g. scheduling in the past)."""
+
+
+class ChannelError(SimulationError):
+    """Misuse of a communication channel."""
+
+
+class ConfigurationError(SimulationError):
+    """A global configuration could not be captured or restored."""
+
+
+class ProtocolError(ReproError):
+    """A protocol layer was misused (bad wiring, bad request sequence)."""
+
+
+class SpecificationViolation(ReproError):
+    """A specification checker found a violated property.
+
+    Checkers normally *return* verdict objects; this exception is raised only
+    by the ``require_*`` convenience wrappers.
+    """
+
+    def __init__(self, property_name: str, detail: str) -> None:
+        super().__init__(f"{property_name}: {detail}")
+        self.property_name = property_name
+        self.detail = detail
+
+
+class ImpossibilityConstructionError(ReproError):
+    """The Theorem-1 adversary construction could not be carried out.
+
+    On bounded-capacity channels this is the *expected* outcome: the recorded
+    message sequences do not fit into the channels, which is exactly the
+    observation the paper uses to escape the impossibility result.
+    """

@@ -1,0 +1,72 @@
+"""Message-passing system simulator (the paper's Section 2 model).
+
+Public surface:
+
+* :class:`~repro.sim.runtime.Simulator` — the runtime;
+* :class:`~repro.sim.process.Layer`, :class:`~repro.sim.process.Action`,
+  :class:`~repro.sim.process.ProcessHost` — the guarded-action process model;
+* channels and loss models (:mod:`repro.sim.channel`);
+* configurations and projections (:mod:`repro.sim.configuration`);
+* adversaries (:mod:`repro.sim.adversary`);
+* traces (:mod:`repro.sim.trace`) and stats (:mod:`repro.sim.stats`).
+"""
+
+from repro.sim.channel import (
+    BernoulliLoss,
+    BoundedChannel,
+    DropFirstK,
+    LossModel,
+    NoLoss,
+    UnboundedChannel,
+)
+from repro.sim.faults import (
+    GilbertElliottLoss,
+    HeaderCorruption,
+    PeriodicLoss,
+    TargetedLoss,
+)
+from repro.sim.configuration import (
+    AbstractConfiguration,
+    Configuration,
+    capture,
+    capture_abstract,
+    restore,
+    sequence_projection,
+    state_projection,
+)
+from repro.sim.network import Network
+from repro.sim.process import Action, Layer, ProcessHost
+from repro.sim.runtime import Simulator
+from repro.sim.scheduler import Scheduler
+from repro.sim.stats import SimStats
+from repro.sim.trace import EventKind, Trace, TraceEvent
+
+__all__ = [
+    "Action",
+    "AbstractConfiguration",
+    "BernoulliLoss",
+    "BoundedChannel",
+    "Configuration",
+    "DropFirstK",
+    "EventKind",
+    "GilbertElliottLoss",
+    "HeaderCorruption",
+    "PeriodicLoss",
+    "TargetedLoss",
+    "Layer",
+    "LossModel",
+    "Network",
+    "NoLoss",
+    "ProcessHost",
+    "Scheduler",
+    "SimStats",
+    "Simulator",
+    "Trace",
+    "TraceEvent",
+    "UnboundedChannel",
+    "capture",
+    "capture_abstract",
+    "restore",
+    "sequence_projection",
+    "state_projection",
+]

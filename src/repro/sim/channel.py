@@ -1,0 +1,237 @@
+"""Communication channels.
+
+The paper's model (Section 2): channels are FIFO, may lose messages, but are
+fair (infinitely many sends imply infinitely many receipts), and — in the
+constructive part (Section 4) — have a *known bounded capacity*; a message
+sent into a full channel is lost.
+
+Two channel families are provided:
+
+* :class:`BoundedChannel` — the Section 4 model.  Capacity is accounted **per
+  protocol-instance tag**: each concurrently running protocol instance (e.g.
+  ME's embedded IDL wave and ME's own ASK/EXIT/EXITCS wave) owns ``capacity``
+  slots per direction.  This realizes the paper's "extension to an arbitrary
+  but known bounded message capacity is straightforward" remark while keeping
+  the single-slot-per-instance invariant that Lemma 4's safety argument
+  relies on.
+* :class:`UnboundedChannel` — the Section 3 model used by the Theorem 1
+  impossibility construction: any finite number of messages may sit in the
+  channel initially.
+
+Messages are duck-typed: anything with a string ``tag`` attribute.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+from repro.errors import ChannelError
+
+__all__ = [
+    "TaggedMessage",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "DropFirstK",
+    "ChannelBase",
+    "BoundedChannel",
+    "UnboundedChannel",
+]
+
+
+@runtime_checkable
+class TaggedMessage(Protocol):
+    """Anything that can travel through a channel."""
+
+    tag: str
+
+
+class LossModel(abc.ABC):
+    """Decides, at send time, whether a message is lost in transit."""
+
+    @abc.abstractmethod
+    def should_drop(self, rng: random.Random, msg: TaggedMessage) -> bool:
+        """Return True to lose the message."""
+
+    def reset(self) -> None:
+        """Forget any internal state (between experiment repetitions)."""
+
+
+class NoLoss(LossModel):
+    """Reliable transit (capacity overflow can still lose messages)."""
+
+    def should_drop(self, rng: random.Random, msg: TaggedMessage) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Each message is independently lost with probability ``p``.
+
+    ``p`` must be < 1 so the paper's fairness assumption (infinitely many
+    sends imply infinitely many receipts) holds almost surely.
+    """
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ChannelError(f"loss probability must be in [0, 1), got {p}")
+        self.p = p
+
+    def should_drop(self, rng: random.Random, msg: TaggedMessage) -> bool:
+        return rng.random() < self.p
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BernoulliLoss({self.p})"
+
+
+class DropFirstK(LossModel):
+    """Adversarially lose the first ``k`` messages of each tag.
+
+    Useful in tests: the protocols must survive any finite prefix of losses.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ChannelError(f"k must be >= 0, got {k}")
+        self.k = k
+        self._seen: dict[str, int] = {}
+
+    def should_drop(self, rng: random.Random, msg: TaggedMessage) -> bool:
+        count = self._seen.get(msg.tag, 0)
+        self._seen[msg.tag] = count + 1
+        return count < self.k
+
+    def reset(self) -> None:
+        self._seen.clear()
+
+
+@dataclass
+class _Entry:
+    """A message sitting in a channel."""
+
+    msg: TaggedMessage
+    enqueued_at: int
+    delivery_time: int | None = None  # None until the network schedules it
+
+
+class ChannelBase(abc.ABC):
+    """A unidirectional FIFO channel from ``src`` to ``dst``."""
+
+    def __init__(self, src: int, dst: int) -> None:
+        self.src = src
+        self.dst = dst
+        self._entries: list[_Entry] = []
+        # Monotone per-tag delivery clock: enforces FIFO-per-tag even with
+        # jittered latencies and capacity > 1.
+        self._last_delivery: dict[str, int] = {}
+
+    # -- capacity ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def capacity_for(self, tag: str) -> int | None:
+        """Slot budget for ``tag`` (None means unbounded)."""
+
+    def occupancy(self, tag: str) -> int:
+        """Number of in-flight messages with the given tag."""
+        return sum(1 for e in self._entries if e.msg.tag == tag)
+
+    def is_full_for(self, tag: str) -> bool:
+        cap = self.capacity_for(tag)
+        return cap is not None and self.occupancy(tag) >= cap
+
+    # -- admission / removal ---------------------------------------------
+
+    def try_admit(self, msg: TaggedMessage, now: int) -> _Entry | None:
+        """Admit ``msg`` unless the channel is full for its tag.
+
+        Returns the channel entry on success, None if the message is lost
+        because the channel is full (the Section 4 semantics).
+        """
+        if self.is_full_for(msg.tag):
+            return None
+        entry = _Entry(msg=msg, enqueued_at=now)
+        self._entries.append(entry)
+        return entry
+
+    def inject(self, msg: TaggedMessage, now: int = 0) -> _Entry:
+        """Adversarially place a message into the channel.
+
+        Unlike :meth:`try_admit`, refuses (raises) rather than silently
+        dropping when the channel is full — the adversary must respect the
+        capacity bound, which is exactly what makes Theorem 1's construction
+        fail on bounded channels.
+        """
+        entry = self.try_admit(msg, now)
+        if entry is None:
+            raise ChannelError(
+                f"channel {self.src}->{self.dst} full for tag {msg.tag!r}: "
+                f"cannot inject {msg!r}"
+            )
+        return entry
+
+    def fifo_delivery_time(self, tag: str, proposed: int) -> int:
+        """Clamp a proposed delivery time to keep per-tag FIFO order."""
+        floor = self._last_delivery.get(tag, -1) + 1
+        time = max(proposed, floor)
+        self._last_delivery[tag] = time
+        return time
+
+    def remove(self, entry: _Entry) -> None:
+        """Take a message out of the channel (on delivery)."""
+        try:
+            self._entries.remove(entry)
+        except ValueError:
+            raise ChannelError(
+                f"entry {entry!r} not present in channel {self.src}->{self.dst}"
+            ) from None
+
+    # -- inspection --------------------------------------------------------
+
+    def contents(self) -> tuple[TaggedMessage, ...]:
+        """The in-flight messages, in FIFO order."""
+        return tuple(e.msg for e in self._entries)
+
+    def entries(self) -> tuple[_Entry, ...]:
+        return tuple(self._entries)
+
+    def clear(self) -> list[TaggedMessage]:
+        """Drop everything in the channel (adversary/reset helper)."""
+        dropped = [e.msg for e in self._entries]
+        self._entries.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}({self.src}->{self.dst}, "
+            f"{len(self._entries)} in flight)"
+        )
+
+
+class BoundedChannel(ChannelBase):
+    """Known bounded capacity, accounted per protocol-instance tag."""
+
+    def __init__(self, src: int, dst: int, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ChannelError(f"capacity must be >= 1, got {capacity}")
+        super().__init__(src, dst)
+        self.capacity = capacity
+
+    def capacity_for(self, tag: str) -> int | None:
+        return self.capacity
+
+
+class UnboundedChannel(ChannelBase):
+    """Finite but unbounded capacity (the Theorem 1 setting)."""
+
+    def capacity_for(self, tag: str) -> int | None:
+        return None
+
+
+def total_in_flight(channels: Iterable[ChannelBase]) -> int:
+    """Total number of messages in flight over the given channels."""
+    return sum(len(c) for c in channels)

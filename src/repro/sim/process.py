@@ -1,0 +1,229 @@
+"""The guarded-action process model.
+
+A *process* (Section 2 of the paper) is a sequential deterministic machine
+executing a protocol given as a collection of actions
+``label :: guard -> statement``.  Guards range over local variables; receive
+actions fire on message arrival.  Actions execute atomically.
+
+Here a process is a :class:`ProcessHost` carrying a stack of
+:class:`Layer` objects.  Each layer
+
+* declares guarded :class:`Action`\\ s, evaluated in text order on every
+  (weakly fair) activation,
+* consumes the messages whose ``tag`` equals the layer's tag,
+* can be *scrambled* by the adversary (arbitrary initial configuration),
+* can snapshot/restore its local state (configuration capture, Definition 2).
+
+Layers compose: a layer may embed sub-layers (IDL embeds a PIF instance; ME
+embeds an IDL and a PIF instance).  Registration flattens the stack
+depth-first, sub-layers first, so service layers make progress before their
+clients inspect them within the same activation.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.errors import ProtocolError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.channel import TaggedMessage
+    from repro.sim.runtime import Simulator
+
+__all__ = ["Action", "Layer", "ProcessHost"]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One guarded action ``label :: guard -> statement``."""
+
+    name: str
+    guard: Callable[[], bool]
+    statement: Callable[[], None]
+
+
+class Layer(abc.ABC):
+    """A protocol layer hosted by a process."""
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        self.host: "ProcessHost | None" = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, host: "ProcessHost") -> None:
+        if self.host is not None:
+            raise ProtocolError(f"layer {self.tag!r} already attached")
+        self.host = host
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Initialize per-peer state; the host (and topology) is available."""
+
+    def sublayers(self) -> Sequence["Layer"]:
+        """Embedded service layers (registered before this layer)."""
+        return ()
+
+    # -- behaviour ---------------------------------------------------------
+
+    def actions(self) -> Sequence[Action]:
+        """The guarded actions, in the paper's text order."""
+        return ()
+
+    def on_message(self, sender: int, msg: "TaggedMessage") -> None:
+        """Receive action for a message carrying this layer's tag."""
+
+    # -- adversary / configuration interface --------------------------------
+
+    def scramble(self, rng: random.Random) -> None:
+        """Overwrite every variable with an arbitrary value in its domain."""
+
+    def garbage_message(self, rng: random.Random) -> "TaggedMessage | None":
+        """An arbitrary in-flight message for this layer's tag, or None."""
+        return None
+
+    def snapshot(self) -> dict[str, Any]:
+        """A deep-enough copy of the local state (Definition 3 projection)."""
+        return {}
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Inverse of :meth:`snapshot`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pid = self.host.pid if self.host is not None else "?"
+        return f"{type(self).__name__}(tag={self.tag!r}, pid={pid})"
+
+
+class ProcessHost:
+    """A process: local layers plus input/output capabilities.
+
+    The host exposes exactly what the paper's model grants a process: its
+    id, the local channel numbering of its peers, message sending, and time
+    (for the simulation harness only — the protocols themselves never read
+    the clock).
+    """
+
+    def __init__(self, sim: "Simulator", pid: int) -> None:
+        self.sim = sim
+        self.pid = pid
+        self.layers: list[Layer] = []
+        self._by_tag: dict[str, Layer] = {}
+        #: The process is busy (executing a durational critical section)
+        #: until this tick; activations and deliveries wait.
+        self.busy_until: int = -1
+
+    # -- wiring -------------------------------------------------------------
+
+    def register(self, layer: Layer) -> None:
+        """Register ``layer`` and, recursively, its sub-layers first."""
+        for sub in layer.sublayers():
+            self.register(sub)
+        if layer.tag in self._by_tag:
+            raise ProtocolError(
+                f"duplicate layer tag {layer.tag!r} at process {self.pid}"
+            )
+        layer.attach(self)
+        self.layers.append(layer)
+        self._by_tag[layer.tag] = layer
+
+    def layer(self, tag: str) -> Layer:
+        try:
+            return self._by_tag[tag]
+        except KeyError:
+            raise ProtocolError(f"no layer {tag!r} at process {self.pid}") from None
+
+    def has_layer(self, tag: str) -> bool:
+        return tag in self._by_tag
+
+    # -- topology -----------------------------------------------------------
+
+    @property
+    def others(self) -> tuple[int, ...]:
+        """Peer ids in local channel-number order (channels 1..n-1)."""
+        return self.sim.network.peers_of(self.pid)
+
+    @property
+    def n(self) -> int:
+        return self.sim.network.n
+
+    def chan_num(self, peer: int) -> int:
+        return self.sim.network.chan_num(self.pid, peer)
+
+    def peer_by_num(self, num: int) -> int:
+        return self.sim.network.peer_by_num(self.pid, num)
+
+    # -- input/output ---------------------------------------------------------
+
+    def send(self, dst: int, msg: "TaggedMessage") -> None:
+        self.sim.transmit(self.pid, dst, msg)
+
+    def emit(self, kind: str, **data: Any) -> None:
+        self.sim.trace.emit(self.sim.now, kind, self.pid, **data)
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    @property
+    def rng(self) -> random.Random:
+        return self.sim.rng
+
+    def call_later(self, delay: int, fn: Callable[[], None]):
+        return self.sim.scheduler.schedule_in(delay, fn)
+
+    def set_busy_for(self, duration: int) -> None:
+        """Mark the process busy (atomically occupied) for ``duration`` ticks."""
+        if duration < 0:
+            raise SimulationError(f"negative busy duration {duration}")
+        self.busy_until = max(self.busy_until, self.now + duration)
+
+    @property
+    def busy(self) -> bool:
+        return self.busy_until > self.now
+
+    # -- execution ------------------------------------------------------------
+
+    def activate(self) -> int:
+        """Run every enabled guarded action once, in stack/text order.
+
+        Returns the number of actions executed.  Guard evaluation and
+        statement execution are atomic (the simulator is single-threaded and
+        never interleaves within an activation).
+        """
+        executed = 0
+        for layer in self.layers:
+            for action in layer.actions():
+                if action.guard():
+                    action.statement()
+                    executed += 1
+        return executed
+
+    def dispatch(self, sender: int, msg: "TaggedMessage") -> None:
+        """Deliver a received message to the consuming layer.
+
+        Messages with a tag no layer consumes are dropped silently: the
+        arbitrary initial configuration may contain messages of unknown
+        protocols, and a real process ignores frames it cannot parse.
+        """
+        layer = self._by_tag.get(msg.tag)
+        if layer is not None:
+            layer.on_message(sender, msg)
+
+    # -- adversary / configuration ---------------------------------------------
+
+    def scramble(self, rng: random.Random) -> None:
+        for layer in self.layers:
+            layer.scramble(rng)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        return {layer.tag: layer.snapshot() for layer in self.layers}
+
+    def restore(self, state: dict[str, dict[str, Any]]) -> None:
+        for tag, layer_state in state.items():
+            self.layer(tag).restore(layer_state)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessHost(pid={self.pid}, layers={[l.tag for l in self.layers]})"

@@ -1,0 +1,325 @@
+"""The simulator runtime.
+
+:class:`Simulator` ties together the scheduler, the network, and the
+processes.  It implements the paper's asynchronous message-passing semantics:
+
+* **Weakly fair activations** — every process is activated infinitely often
+  (every ``activation_period`` ticks, with optional deterministic jitter);
+  an activation atomically executes all enabled guarded actions.
+* **Asynchronous, lossy, FIFO channels** — a sent message suffers a random
+  latency; it can be lost by the loss model or by arriving at a full channel
+  slot (Section 4 semantics); per-tag FIFO order is preserved.
+* **Atomicity** — while a process is *busy* (executing a durational critical
+  section, i.e. a long atomic action) neither activations nor deliveries
+  happen at it; deliveries wait in the channel.
+
+Two driving styles:
+
+* ``auto=True`` (default): activations are self-scheduling; :meth:`run`
+  advances time until a horizon or a predicate holds.
+* ``auto=False``: *manual mode* for the Theorem 1 replay engine — the caller
+  explicitly activates processes and delivers specific messages.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.channel import (
+    BoundedChannel,
+    ChannelBase,
+    LossModel,
+    NoLoss,
+    TaggedMessage,
+    UnboundedChannel,
+)
+from repro.sim.network import Network
+from repro.sim.process import ProcessHost
+from repro.sim.scheduler import Scheduler
+from repro.sim.stats import SimStats
+from repro.sim.trace import EventKind, Trace
+
+__all__ = ["Simulator"]
+
+BuildFn = Callable[[ProcessHost], None]
+
+
+class Simulator:
+    """A deterministic, seeded message-passing system simulator."""
+
+    def __init__(
+        self,
+        pids: Sequence[int] | int,
+        build: BuildFn,
+        *,
+        seed: int = 0,
+        capacity: int = 1,
+        unbounded: bool = False,
+        latency: tuple[int, int] = (1, 3),
+        loss: LossModel | None = None,
+        corruption: "object | None" = None,
+        activation_period: int = 2,
+        activation_jitter: int = 1,
+        auto: bool = True,
+        trace_network: bool = False,
+    ) -> None:
+        if isinstance(pids, int):
+            pids = list(range(1, pids + 1))
+        lo, hi = latency
+        if not 1 <= lo <= hi:
+            raise SimulationError(f"latency bounds must satisfy 1 <= lo <= hi, got {latency}")
+        if activation_period < 1:
+            raise SimulationError(f"activation_period must be >= 1, got {activation_period}")
+
+        self.rng = random.Random(seed)
+        self.scheduler = Scheduler()
+        self.trace = Trace()
+        self.stats = SimStats()
+        self.loss: LossModel = loss if loss is not None else NoLoss()
+        #: Optional in-flight corruption model (see repro.sim.faults); must
+        #: expose ``maybe_corrupt(rng, msg) -> msg``.
+        self.corruption = corruption
+        self.latency = (lo, hi)
+        self.activation_period = activation_period
+        self.activation_jitter = activation_jitter
+        self.auto = auto
+        self.trace_network = trace_network
+        self.capacity = capacity
+        self.unbounded = unbounded
+
+        if unbounded:
+            self.network = Network(pids, UnboundedChannel)
+        else:
+            self.network = Network(
+                pids, lambda s, d: BoundedChannel(s, d, capacity=capacity)
+            )
+
+        #: Observation hooks (recording, instrumentation). ``delivery_hooks``
+        #: fire just before a message is dispatched to the receiving process;
+        #: ``activation_hooks`` fire just before a process activation runs.
+        self.delivery_hooks: list[Callable[[int, int, TaggedMessage], None]] = []
+        self.activation_hooks: list[Callable[[int], None]] = []
+
+        self.hosts: dict[int, ProcessHost] = {}
+        for pid in self.network.pids:
+            host = ProcessHost(self, pid)
+            build(host)
+            self.hosts[pid] = host
+
+        if auto:
+            # Stagger first activations deterministically so processes are
+            # not lockstep-synchronized (asynchrony).
+            for pid in self.network.pids:
+                offset = self.rng.randrange(activation_period) if activation_period > 1 else 0
+                self.scheduler.schedule_at(offset, self._make_activation(pid))
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.scheduler.now
+
+    @property
+    def pids(self) -> tuple[int, ...]:
+        return self.network.pids
+
+    def host(self, pid: int) -> ProcessHost:
+        try:
+            return self.hosts[pid]
+        except KeyError:
+            raise SimulationError(f"unknown process id {pid}") from None
+
+    def layer(self, pid: int, tag: str):
+        return self.host(pid).layer(tag)
+
+    # -- message transmission --------------------------------------------------
+
+    def transmit(self, src: int, dst: int, msg: TaggedMessage) -> bool:
+        """Send ``msg`` from ``src`` to ``dst``; returns True if admitted."""
+        self.stats.record_send(msg.tag)
+        if self.trace_network:
+            self.trace.emit(self.now, EventKind.SEND, src, dst=dst, tag=msg.tag)
+        if self.corruption is not None:
+            msg = self.corruption.maybe_corrupt(self.rng, msg)
+        if self.loss.should_drop(self.rng, msg):
+            self.stats.dropped_loss += 1
+            if self.trace_network:
+                self.trace.emit(self.now, EventKind.DROP_LOSS, src, dst=dst, tag=msg.tag)
+            return False
+        channel = self.network.channel(src, dst)
+        entry = channel.try_admit(msg, self.now)
+        if entry is None:
+            self.stats.dropped_full += 1
+            if self.trace_network:
+                self.trace.emit(self.now, EventKind.DROP_FULL, src, dst=dst, tag=msg.tag)
+            return False
+        if self.auto:
+            self._schedule_delivery(channel, entry)
+        return True
+
+    def _schedule_delivery(self, channel: ChannelBase, entry) -> None:
+        lo, hi = self.latency
+        proposed = self.now + self.rng.randint(lo, hi)
+        entry.delivery_time = channel.fifo_delivery_time(entry.msg.tag, proposed)
+        self.scheduler.schedule_at(
+            entry.delivery_time, lambda: self._deliver(channel, entry)
+        )
+
+    def _deliver(self, channel: ChannelBase, entry) -> None:
+        if entry not in channel.entries():
+            return  # channel was cleared/restored under us
+        host = self.hosts[channel.dst]
+        if host.busy:
+            # The receiver is inside a long atomic action; the message stays
+            # in the channel (still occupying its slot) and delivery retries
+            # when the process frees up.
+            self.scheduler.schedule_at(
+                host.busy_until, lambda: self._deliver(channel, entry)
+            )
+            return
+        channel.remove(entry)
+        self.stats.record_delivery(entry.msg.tag)
+        if self.trace_network:
+            self.trace.emit(
+                self.now, EventKind.DELIVER, channel.dst, src=channel.src, tag=entry.msg.tag
+            )
+        for hook in self.delivery_hooks:
+            hook(channel.src, channel.dst, entry.msg)
+        host.dispatch(channel.src, entry.msg)
+
+    def inject(self, src: int, dst: int, msg: TaggedMessage, *, schedule: bool | None = None) -> None:
+        """Adversarially place ``msg`` into the channel ``src -> dst``.
+
+        Raises :class:`~repro.errors.ChannelError` when the channel is full
+        for the message's tag — the capacity bound binds the adversary too.
+        In auto mode the delivery is scheduled like a normal send unless
+        ``schedule=False``.
+        """
+        channel = self.network.channel(src, dst)
+        entry = channel.inject(msg, self.now)
+        self.trace.emit(self.now, EventKind.INJECT, None, src=src, dst=dst, tag=msg.tag)
+        if schedule is None:
+            schedule = self.auto
+        if schedule:
+            self._schedule_delivery(channel, entry)
+
+    # -- activations -----------------------------------------------------------
+
+    def _make_activation(self, pid: int) -> Callable[[], None]:
+        def fire() -> None:
+            host = self.hosts[pid]
+            if not host.busy:
+                self.stats.activations += 1
+                for hook in self.activation_hooks:
+                    hook(pid)
+                host.activate()
+            jitter = (
+                self.rng.randint(0, self.activation_jitter)
+                if self.activation_jitter > 0
+                else 0
+            )
+            self.scheduler.schedule_in(self.activation_period + jitter, fire)
+
+        return fire
+
+    def activate(self, pid: int) -> int:
+        """Manually activate one process (manual mode / tests)."""
+        host = self.host(pid)
+        if host.busy:
+            return 0
+        self.stats.activations += 1
+        for hook in self.activation_hooks:
+            hook(pid)
+        return host.activate()
+
+    def step_deliver(
+        self, src: int, dst: int, tag: str | None = None
+    ) -> TaggedMessage | None:
+        """Manually deliver the oldest in-flight message on ``src -> dst``.
+
+        Optionally restricted to messages of a given tag.  Returns the
+        delivered message, or None when nothing matched.  Used by the
+        Theorem 1 replay engine and by fine-grained unit tests.
+        """
+        channel = self.network.channel(src, dst)
+        for entry in channel.entries():
+            if tag is None or entry.msg.tag == tag:
+                channel.remove(entry)
+                self.stats.record_delivery(entry.msg.tag)
+                for hook in self.delivery_hooks:
+                    hook(src, dst, entry.msg)
+                self.hosts[dst].dispatch(src, entry.msg)
+                return entry.msg
+        return None
+
+    # -- running -----------------------------------------------------------------
+
+    def run(
+        self,
+        max_time: int,
+        until: Callable[["Simulator"], bool] | None = None,
+    ) -> bool:
+        """Advance simulated time.
+
+        Runs until ``until(self)`` holds (checked after every event) or the
+        time horizon is hit.  Returns True iff the predicate was satisfied
+        (always False when no predicate is given).
+        """
+        if until is None:
+            self.scheduler.run_until(max_time)
+            return False
+        if until(self):
+            return True
+        satisfied = False
+
+        def stop() -> bool:
+            nonlocal satisfied
+            satisfied = until(self)
+            return satisfied
+
+        self.scheduler.run_until(max_time, stop=stop)
+        return satisfied
+
+    def run_quiet(self, max_time: int, settle: int = 50) -> bool:
+        """Run until no message is in flight for ``settle`` consecutive ticks.
+
+        Used to check the "if requests stop, the system eventually contains
+        no message" property of Protocol PIF.
+        """
+        deadline = self.now + max_time
+        quiet_since: int | None = None
+        while self.now < deadline:
+            progressed = self.scheduler.run_until(min(self.now + settle, deadline))
+            if self.network.in_flight() == 0:
+                if quiet_since is None:
+                    quiet_since = self.now
+                elif self.now - quiet_since >= settle:
+                    return True
+            else:
+                quiet_since = None
+            if progressed == 0 and self.now >= deadline:
+                break
+        return self.network.in_flight() == 0
+
+    # -- configuration interface ---------------------------------------------------
+
+    def scramble(self, seed: int | None = None, fill_channels: bool = True) -> None:
+        """Drive the system into an arbitrary initial configuration.
+
+        Convenience wrapper over :mod:`repro.sim.adversary`.
+        """
+        from repro.sim.adversary import scramble_system
+
+        rng = random.Random(seed) if seed is not None else self.rng
+        scramble_system(self, rng, fill_channels=fill_channels)
+
+    def snapshot_states(self) -> dict[int, dict[str, dict[str, Any]]]:
+        """State of every process (an *abstract configuration*, Def. 2)."""
+        return {pid: host.snapshot() for pid, host in self.hosts.items()}
+
+    def channel_contents(self) -> dict[tuple[int, int], tuple[TaggedMessage, ...]]:
+        return {
+            (c.src, c.dst): c.contents() for c in self.network.channels()
+        }

@@ -1,0 +1,125 @@
+"""Deterministic discrete-event scheduler.
+
+Time is an integer tick counter.  Events scheduled for the same tick run in
+the order they were scheduled (a monotone sequence number breaks ties), which
+makes every simulation fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SchedulerError
+
+__all__ = ["EventHandle", "Scheduler"]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: int
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """Cancelable handle for a scheduled callback."""
+
+    __slots__ = ("callback", "time", "cancelled", "fired")
+
+    def __init__(self, callback: Callable[[], None], time: int) -> None:
+        self.callback = callback
+        self.time = time
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        return not self.cancelled and not self.fired
+
+
+class Scheduler:
+    """A priority-queue driven event loop over integer ticks."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: list[_QueueEntry] = []
+
+    @property
+    def now(self) -> int:
+        """Current simulated time."""
+        return self._now
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run at absolute tick ``time``."""
+        if time < self._now:
+            raise SchedulerError(
+                f"cannot schedule at t={time}, current time is t={self._now}"
+            )
+        handle = EventHandle(callback, time)
+        self._seq += 1
+        heapq.heappush(self._queue, _QueueEntry(time, self._seq, handle))
+        return handle
+
+    def schedule_in(self, delay: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise SchedulerError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def __len__(self) -> int:
+        """Number of queue entries, including cancelled ones not yet popped."""
+        return len(self._queue)
+
+    @property
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) scheduled events."""
+        return sum(1 for entry in self._queue if entry.handle.pending)
+
+    def run_next(self) -> bool:
+        """Run the next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue is empty.
+        Cancelled events are discarded silently.
+        """
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.handle.cancelled:
+                continue
+            self._now = entry.time
+            entry.handle.fired = True
+            entry.handle.callback()
+            return True
+        return False
+
+    def run_until(
+        self,
+        max_time: int,
+        stop: Callable[[], bool] | None = None,
+    ) -> int:
+        """Run events until ``max_time`` (inclusive) or until ``stop()``.
+
+        The stop predicate is evaluated after every event.  Returns the
+        number of events executed.
+        """
+        executed = 0
+        while self._queue:
+            entry = self._queue[0]
+            if entry.time > max_time:
+                break
+            if not self.run_next():
+                break
+            executed += 1
+            if stop is not None and stop():
+                break
+        # Even if nothing (more) ran, time advances to the horizon so that
+        # repeated run_until calls observe monotone time.
+        if self._now < max_time and (not self._queue or self._queue[0].time > max_time):
+            self._now = max_time
+        return executed

@@ -1,0 +1,51 @@
+"""Lightweight counters for network and protocol activity."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["SimStats"]
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated during a simulation run."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_full: int = 0
+    dropped_loss: int = 0
+    activations: int = 0
+    sent_by_tag: Counter = field(default_factory=Counter)
+    delivered_by_tag: Counter = field(default_factory=Counter)
+
+    @property
+    def dropped(self) -> int:
+        """Total messages lost, for any reason."""
+        return self.dropped_full + self.dropped_loss
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of sent messages that were eventually delivered."""
+        if self.sent == 0:
+            return 1.0
+        return self.delivered / self.sent
+
+    def record_send(self, tag: str) -> None:
+        self.sent += 1
+        self.sent_by_tag[tag] += 1
+
+    def record_delivery(self, tag: str) -> None:
+        self.delivered += 1
+        self.delivered_by_tag[tag] += 1
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped_full": self.dropped_full,
+            "dropped_loss": self.dropped_loss,
+            "activations": self.activations,
+            "delivery_ratio": round(self.delivery_ratio, 4),
+        }

@@ -1,0 +1,133 @@
+"""Execution traces and semantic events.
+
+Protocol layers emit *semantic events* (request, start, decide, receive-brd,
+receive-fck, CS enter/exit, ...) into a :class:`Trace`.  Specification
+checkers evaluate the paper's Specifications 1-3 purely over the trace, never
+by peeking at protocol internals, so a protocol cannot "pass" by accident of
+implementation details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+__all__ = ["EventKind", "TraceEvent", "Trace"]
+
+
+class EventKind:
+    """String constants naming every semantic event kind."""
+
+    # Request lifecycle (all three protocols).
+    REQUEST = "request"        # external application sets Request <- Wait
+    START = "start"            # protocol switches Request Wait -> In
+    DECIDE = "decide"          # protocol switches Request In -> Done
+
+    # PIF upcalls (paper: "generate a receive-brd / receive-fck event").
+    RECEIVE_BRD = "receive-brd"
+    RECEIVE_FCK = "receive-fck"
+
+    # Network-level events.
+    SEND = "send"
+    DELIVER = "deliver"
+    DROP_FULL = "drop-full"    # sent into a full channel slot (paper: lost)
+    DROP_LOSS = "drop-loss"    # lost by the loss model
+
+    # Mutual exclusion.
+    CS_ENTER = "cs-enter"
+    CS_EXIT = "cs-exit"
+    PHASE = "phase"            # ME phase transition
+
+    # Harness events.
+    SCRAMBLE = "scramble"      # adversary rewrote states / channels
+    INJECT = "inject"          # adversary placed a message into a channel
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One semantic event.
+
+    ``process`` is the process at which the event happened (``None`` for
+    global harness events); ``data`` carries event-specific fields such as
+    the payload of a broadcast or the peer a feedback came from.
+    """
+
+    time: int
+    kind: str
+    process: int | None
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+
+class Trace:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def emit(self, time: int, kind: str, process: int | None, **data: Any) -> TraceEvent:
+        event = TraceEvent(time=time, kind=kind, process=process, data=data)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self._events[index]
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        """All events whose kind is one of ``kinds``, in order."""
+        wanted = set(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def for_process(self, pid: int, *kinds: str) -> list[TraceEvent]:
+        """Events at process ``pid``, optionally restricted to ``kinds``."""
+        wanted = set(kinds) if kinds else None
+        return [
+            e
+            for e in self._events
+            if e.process == pid and (wanted is None or e.kind in wanted)
+        ]
+
+    def between(self, t0: int, t1: int) -> list[TraceEvent]:
+        """Events with ``t0 <= time <= t1``."""
+        return [e for e in self._events if t0 <= e.time <= t1]
+
+    def where(self, **fields: Any) -> list[TraceEvent]:
+        """Events whose data contains every given key/value pair."""
+        return [
+            e
+            for e in self._events
+            if all(e.data.get(k) == v for k, v in fields.items())
+        ]
+
+    def first(self, kind: str, **fields: Any) -> TraceEvent | None:
+        """The earliest event of ``kind`` matching ``fields``, or None."""
+        for e in self._events:
+            if e.kind == kind and all(e.data.get(k) == v for k, v in fields.items()):
+                return e
+        return None
+
+    def last(self, kind: str, **fields: Any) -> TraceEvent | None:
+        """The latest event of ``kind`` matching ``fields``, or None."""
+        for e in reversed(self._events):
+            if e.kind == kind and all(e.data.get(k) == v for k, v in fields.items()):
+                return e
+        return None
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        self._events.extend(events)

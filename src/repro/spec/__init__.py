@@ -1,0 +1,48 @@
+"""Specification checkers (Specifications 1-3, Definition 5)."""
+
+from repro.spec.base import SpecVerdict, Violation
+from repro.spec.idl_spec import check_idl
+from repro.spec.mutex_spec import CsInterval, check_mutex, cs_intervals, service_order
+from repro.spec.pif_spec import check_pif
+from repro.spec.safety_distributed import (
+    BadFactor,
+    SafetyDistributedSpec,
+    concurrent_cs_count,
+    mutual_exclusion_spec,
+)
+from repro.spec.temporal import (
+    TemporalResult,
+    always,
+    count,
+    event,
+    eventually,
+    leads_to,
+    never,
+    precedes,
+)
+from repro.spec.waves import Wave, extract_waves
+
+__all__ = [
+    "BadFactor",
+    "TemporalResult",
+    "always",
+    "count",
+    "event",
+    "eventually",
+    "leads_to",
+    "never",
+    "precedes",
+    "CsInterval",
+    "SafetyDistributedSpec",
+    "SpecVerdict",
+    "Violation",
+    "Wave",
+    "check_idl",
+    "check_mutex",
+    "check_pif",
+    "concurrent_cs_count",
+    "cs_intervals",
+    "extract_waves",
+    "mutual_exclusion_spec",
+    "service_order",
+]

@@ -1,0 +1,75 @@
+"""Common machinery for specification checkers.
+
+Specifications are predicates over *executions* (Section 2).  Checkers here
+evaluate them over recorded traces of semantic events and return structured
+verdicts; they never inspect protocol internals, so they constitute an
+independent oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SpecificationViolation
+
+__all__ = ["Violation", "SpecVerdict"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated property instance."""
+
+    prop: str
+    detail: str
+    time: int | None = None
+    process: int | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" at p{self.process}" if self.process is not None else ""
+        when = f" (t={self.time})" if self.time is not None else ""
+        return f"[{self.prop}]{where}{when}: {self.detail}"
+
+
+@dataclass
+class SpecVerdict:
+    """Outcome of checking one specification over one execution."""
+
+    spec: str
+    violations: list[Violation] = field(default_factory=list)
+    info: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, prop: str, detail: str, *, time: int | None = None,
+            process: int | None = None) -> None:
+        self.violations.append(
+            Violation(prop=prop, detail=detail, time=time, process=process)
+        )
+
+    def by_property(self, prop: str) -> list[Violation]:
+        return [v for v in self.violations if v.prop == prop]
+
+    def property_ok(self, prop: str) -> bool:
+        return not self.by_property(prop)
+
+    def require(self) -> "SpecVerdict":
+        """Raise :class:`SpecificationViolation` unless the verdict is clean."""
+        if not self.ok:
+            first = self.violations[0]
+            raise SpecificationViolation(
+                f"{self.spec}/{first.prop}",
+                f"{first.detail} (+{len(self.violations) - 1} more)",
+            )
+        return self
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.spec}: OK ({self.info})"
+        lines = [f"{self.spec}: {len(self.violations)} violation(s)"]
+        lines.extend(f"  {v}" for v in self.violations[:10])
+        if len(self.violations) > 10:
+            lines.append(f"  ... and {len(self.violations) - 10} more")
+        return "\n".join(lines)

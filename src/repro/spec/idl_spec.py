@@ -1,0 +1,92 @@
+"""Specification 2 — IDs-Learning-Execution (Section 4.2).
+
+At the end of any IDs-Learning computation *started* by ``p``:
+``ID-Tab_p[q] = ID_q`` for every peer ``q`` and
+``minID_p = min`` of all identities.  Start and Termination mirror
+Specification 1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.sim.trace import EventKind, Trace
+from repro.spec.base import SpecVerdict
+from repro.types import RequestState
+
+__all__ = ["check_idl"]
+
+
+def check_idl(
+    trace: Trace,
+    tag: str,
+    idents: Mapping[int, int],
+    *,
+    final_requests: Mapping[int, RequestState] | None = None,
+) -> SpecVerdict:
+    """Check Specification 2 for the IDL instance ``tag``.
+
+    ``idents`` is the ground truth: pid -> identity.  The checker pairs each
+    START with the next DECIDE at the same process and validates the decision
+    payload (``min_id`` and ``id_tab`` recorded in the decide event) against
+    the ground truth.
+    """
+    verdict = SpecVerdict(spec=f"IDL[{tag}]")
+    true_min = min(idents.values())
+    started: dict[int, int] = {}  # pid -> start time of open computation
+    requested: dict[int, int] = {}
+    computations = 0
+
+    for event in trace:
+        if event.get("tag") != tag or event.process is None:
+            continue
+        pid = event.process
+        if event.kind == EventKind.REQUEST:
+            requested.setdefault(pid, event.time)
+        elif event.kind == EventKind.START:
+            requested.pop(pid, None)
+            started[pid] = event.time
+        elif event.kind == EventKind.DECIDE:
+            start_time = started.pop(pid, None)
+            if start_time is None:
+                continue  # decision of a never-started computation: no guarantee
+            computations += 1
+            min_id = event.get("min_id")
+            id_tab = event.get("id_tab") or {}
+            if min_id != true_min:
+                verdict.add(
+                    "Correctness",
+                    f"decided min_id={min_id!r}, true minimum is {true_min}",
+                    time=event.time,
+                    process=pid,
+                )
+            for q, ident in idents.items():
+                if q == pid:
+                    continue
+                if id_tab.get(q) != ident:
+                    verdict.add(
+                        "Correctness",
+                        f"ID-Tab[{q}]={id_tab.get(q)!r}, true identity is {ident}",
+                        time=event.time,
+                        process=pid,
+                    )
+
+    for pid, t in sorted(requested.items()):
+        verdict.add("Start", f"request at t={t} never started", time=t, process=pid)
+    for pid, t in sorted(started.items()):
+        verdict.add(
+            "Termination",
+            f"computation started at t={t} never decided",
+            time=t,
+            process=pid,
+        )
+    if final_requests is not None:
+        for pid, state in sorted(final_requests.items()):
+            if state is RequestState.IN:
+                verdict.add(
+                    "Termination",
+                    "computation (possibly never started) still In at end of run",
+                    process=pid,
+                )
+    verdict.info["computations"] = computations
+    return verdict

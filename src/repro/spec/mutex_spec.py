@@ -1,0 +1,123 @@
+"""Specification 3 — ME-Execution (Section 4.3).
+
+* **Start** — any process that requests the critical section enters it in
+  finite time.
+* **Correctness** — if a requesting process enters the critical section, it
+  executes it alone.
+
+The arbitrary initial configuration may place *non-requesting* processes in
+the critical section (the paper's footnote 1); such occupancies are recorded
+with ``requested=False``.  The paper guarantees exclusivity for requesting
+processes, and the EXIT-wave mechanism in fact prevents a requested CS from
+overlapping *any* other occupancy once the zombie occupant blocks the EXIT
+wave until it leaves — so the checker flags any overlap involving at least
+one requested interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import EventKind, Trace
+from repro.spec.base import SpecVerdict
+
+__all__ = ["CsInterval", "cs_intervals", "check_mutex"]
+
+
+@dataclass(frozen=True)
+class CsInterval:
+    """One critical-section occupancy."""
+
+    pid: int
+    enter: int
+    exit: int | None  # None when still inside at the end of the trace
+    requested: bool
+
+    def overlaps(self, other: "CsInterval", horizon: int) -> bool:
+        end_self = self.exit if self.exit is not None else horizon
+        end_other = other.exit if other.exit is not None else horizon
+        return self.enter < end_other and other.enter < end_self
+
+
+def cs_intervals(trace: Trace, tag: str) -> list[CsInterval]:
+    """Reconstruct every critical-section interval from the trace."""
+    open_by_pid: dict[int, tuple[int, bool]] = {}
+    intervals: list[CsInterval] = []
+    for event in trace:
+        if event.get("tag") != tag or event.process is None:
+            continue
+        pid = event.process
+        if event.kind == EventKind.CS_ENTER:
+            open_by_pid[pid] = (event.time, bool(event.get("requested", True)))
+        elif event.kind == EventKind.CS_EXIT:
+            opened = open_by_pid.pop(pid, None)
+            if opened is not None:
+                intervals.append(
+                    CsInterval(pid=pid, enter=opened[0], exit=event.time,
+                               requested=opened[1])
+                )
+    for pid, (enter, requested) in open_by_pid.items():
+        intervals.append(CsInterval(pid=pid, enter=enter, exit=None,
+                                    requested=requested))
+    intervals.sort(key=lambda i: (i.enter, i.pid))
+    return intervals
+
+
+def check_mutex(
+    trace: Trace,
+    tag: str,
+    *,
+    horizon: int,
+    require_all_served: bool = True,
+) -> SpecVerdict:
+    """Check Specification 3 for the ME instance ``tag``.
+
+    ``horizon`` is the end-of-run time (used to close still-open intervals).
+    With ``require_all_served`` every REQUEST must be followed by a DECIDE
+    (the request was serviced) before the end of the trace.
+    """
+    verdict = SpecVerdict(spec=f"ME[{tag}]")
+    intervals = cs_intervals(trace, tag)
+    verdict.info["cs_count"] = len(intervals)
+    verdict.info["requested_cs_count"] = sum(1 for i in intervals if i.requested)
+
+    # Correctness: a requested interval overlaps nothing.
+    for i in range(len(intervals)):
+        for j in range(i + 1, len(intervals)):
+            a, b = intervals[i], intervals[j]
+            if a.pid != b.pid and (a.requested or b.requested) and a.overlaps(b, horizon):
+                verdict.add(
+                    "Correctness",
+                    f"critical sections overlap: p{a.pid} [{a.enter}, {a.exit}] "
+                    f"(requested={a.requested}) and p{b.pid} [{b.enter}, {b.exit}] "
+                    f"(requested={b.requested})",
+                    time=max(a.enter, b.enter),
+                )
+
+    # Start/liveness: every request is eventually serviced.
+    if require_all_served:
+        pending: dict[int, int] = {}
+        for event in trace:
+            if event.get("tag") != tag or event.process is None:
+                continue
+            if event.kind == EventKind.REQUEST:
+                pending.setdefault(event.process, event.time)
+            elif event.kind == EventKind.DECIDE:
+                pending.pop(event.process, None)
+        for pid, t in sorted(pending.items()):
+            verdict.add(
+                "Start",
+                f"request at t={t} never serviced (no CS entry/decide)",
+                time=t,
+                process=pid,
+            )
+    return verdict
+
+
+def service_order(trace: Trace, tag: str) -> list[int]:
+    """The order in which processes entered requested critical sections."""
+    return [
+        e.process  # type: ignore[misc]
+        for e in trace.of_kind(EventKind.CS_ENTER)
+        if e.get("tag") == tag and e.get("requested", True) and e.process is not None
+    ]

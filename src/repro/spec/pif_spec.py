@@ -1,0 +1,166 @@
+"""Specification 1 — PIF-Execution (Section 4.1).
+
+An execution satisfies the PIF specification iff:
+
+* **Start** — when there is a request for ``p`` to broadcast, ``p`` starts a
+  computation in finite time;
+* **Correctness** — during any computation started by ``p`` for ``m``: every
+  other process receives ``m`` and ``p`` receives acknowledgments for ``m``
+  from every other process;
+* **Termination** — any computation (even non-started) terminates in finite
+  time;
+* **Decision** — when a started computation terminates at ``p``, ``p``
+  decides taking all (and only) acknowledgments of its last broadcast into
+  account.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.sim.trace import EventKind, Trace
+from repro.spec.base import SpecVerdict
+from repro.spec.waves import Wave, extract_waves
+from repro.types import RequestState
+
+__all__ = ["check_pif"]
+
+
+def check_pif(
+    trace: Trace,
+    tag: str,
+    pids: Iterable[int],
+    *,
+    final_requests: Mapping[int, RequestState] | None = None,
+    require_all_decided: bool = True,
+) -> SpecVerdict:
+    """Check Specification 1 for the PIF instance ``tag``.
+
+    ``final_requests`` (pid -> final Request value) enables the Termination
+    check on never-started computations: at the end of a sufficiently long
+    run, nobody may still be ``In``.  ``require_all_decided`` additionally
+    demands every *started* wave decided before the end of the trace — turn
+    it off when analysing deliberately truncated runs.
+    """
+    pids = tuple(pids)
+    verdict = SpecVerdict(spec=f"PIF[{tag}]")
+    waves = extract_waves(trace, tag)
+    verdict.info["waves_started"] = len(waves)
+    verdict.info["waves_decided"] = sum(1 for w in waves if w.decided)
+
+    _check_start(trace, tag, verdict)
+    _check_termination(waves, final_requests, require_all_decided, verdict)
+    for wave in waves:
+        if wave.decided:
+            _check_correctness(wave, pids, verdict)
+            _check_decision(wave, pids, verdict)
+    return verdict
+
+
+def _check_start(trace: Trace, tag: str, verdict: SpecVerdict) -> None:
+    """Every request is followed by a start at the same process."""
+    pending: dict[int, int] = {}
+    for event in trace:
+        if event.get("tag") != tag or event.process is None:
+            continue
+        if event.kind == EventKind.REQUEST:
+            # Hypothesis 1 makes at most one request outstanding.
+            pending.setdefault(event.process, event.time)
+        elif event.kind == EventKind.START:
+            pending.pop(event.process, None)
+    for pid, t in sorted(pending.items()):
+        verdict.add(
+            "Start",
+            f"request at t={t} never followed by a start",
+            time=t,
+            process=pid,
+        )
+
+
+def _check_termination(
+    waves: list[Wave],
+    final_requests: Mapping[int, RequestState] | None,
+    require_all_decided: bool,
+    verdict: SpecVerdict,
+) -> None:
+    if require_all_decided:
+        for wave in waves:
+            if not wave.decided:
+                verdict.add(
+                    "Termination",
+                    f"wave {wave.wave} started at t={wave.start_time} never decided",
+                    time=wave.start_time,
+                    process=wave.pid,
+                )
+    if final_requests is not None:
+        for pid, state in sorted(final_requests.items()):
+            if state is RequestState.IN:
+                verdict.add(
+                    "Termination",
+                    "computation (possibly never started) still In at end of run",
+                    process=pid,
+                )
+
+
+def _check_correctness(wave: Wave, pids: tuple[int, ...], verdict: SpecVerdict) -> None:
+    """Every other process got the broadcast; the initiator got every ack."""
+    others = [q for q in pids if q != wave.pid]
+    for q in others:
+        brds = [
+            e
+            for e in wave.brd_events.get(q, [])
+            if e["sender"] == wave.pid
+            and wave.start_time <= e.time <= (wave.decide_time or e.time)
+        ]
+        if not brds:
+            verdict.add(
+                "Correctness",
+                f"process {q} never received broadcast of wave {wave.wave} "
+                f"(payload {wave.payload!r})",
+                time=wave.decide_time,
+                process=q,
+            )
+        else:
+            for e in brds:
+                if e.get("payload") != wave.payload:
+                    verdict.add(
+                        "Correctness",
+                        f"process {q} received corrupted payload "
+                        f"{e.get('payload')!r} != {wave.payload!r}",
+                        time=e.time,
+                        process=q,
+                    )
+    for q in others:
+        fcks = wave.fck_events.get(q, [])
+        if not fcks:
+            verdict.add(
+                "Correctness",
+                f"initiator never received acknowledgment from {q} "
+                f"for wave {wave.wave}",
+                time=wave.decide_time,
+                process=wave.pid,
+            )
+
+
+def _check_decision(wave: Wave, pids: tuple[int, ...], verdict: SpecVerdict) -> None:
+    """Exactly one acknowledgment per peer, all within the wave's window."""
+    others = [q for q in pids if q != wave.pid]
+    for q in others:
+        fcks = wave.fck_events.get(q, [])
+        if len(fcks) > 1:
+            verdict.add(
+                "Decision",
+                f"{len(fcks)} acknowledgments from {q} counted for wave "
+                f"{wave.wave}; expected exactly one",
+                time=wave.decide_time,
+                process=wave.pid,
+            )
+        for e in fcks:
+            if not wave.start_time <= e.time <= (wave.decide_time or e.time):
+                verdict.add(
+                    "Decision",
+                    f"acknowledgment from {q} at t={e.time} outside the "
+                    f"wave window [{wave.start_time}, {wave.decide_time}]",
+                    time=e.time,
+                    process=wave.pid,
+                )

@@ -1,0 +1,96 @@
+"""Safety-distributed specifications (Definition 5).
+
+A specification is *safety-distributed* when there is a *bad-factor* — a
+sequence of abstract configurations ``BAD`` — such that (1) any execution
+containing a factor whose state-projection equals ``BAD`` violates the
+specification, while (2) for every process ``p`` there is a *correct*
+execution whose projection on ``p`` matches ``p``'s projection of ``BAD``.
+Intuitively: the bad thing is a forbidden *combination* of individually
+legal local behaviours.  Mutual exclusion is the canonical instance: each
+process may execute the critical section, but not two of them concurrently.
+
+Executable form: a :class:`BadFactor` is a sequence of predicates over
+abstract configurations (predicate-based rather than literal equality so a
+single factor captures the whole symmetry class of bad configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.sim.configuration import AbstractConfiguration
+
+__all__ = [
+    "BadFactor",
+    "SafetyDistributedSpec",
+    "concurrent_cs_count",
+    "mutual_exclusion_spec",
+]
+
+ConfigPredicate = Callable[[AbstractConfiguration], bool]
+
+
+@dataclass(frozen=True)
+class BadFactor:
+    """A bad-factor: a window of abstract-configuration predicates."""
+
+    name: str
+    predicates: tuple[ConfigPredicate, ...]
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def find(self, configs: Sequence[AbstractConfiguration]) -> int | None:
+        """Index of the first window of ``configs`` matching the factor."""
+        k = len(self.predicates)
+        if k == 0 or len(configs) < k:
+            return None
+        for i in range(len(configs) - k + 1):
+            if all(pred(configs[i + j]) for j, pred in enumerate(self.predicates)):
+                return i
+        return None
+
+    def matches(self, configs: Sequence[AbstractConfiguration]) -> bool:
+        return self.find(configs) is not None
+
+
+@dataclass(frozen=True)
+class SafetyDistributedSpec:
+    """A specification equipped with a bad-factor (Definition 5)."""
+
+    name: str
+    bad_factor: BadFactor
+
+    def violated_by(self, configs: Sequence[AbstractConfiguration]) -> bool:
+        """Point (1) of Definition 5: the execution contains the factor."""
+        return self.bad_factor.matches(configs)
+
+
+def concurrent_cs_count(config: AbstractConfiguration, tag: str = "me") -> int:
+    """How many processes occupy the critical section in ``config``."""
+    count = 0
+    for state in config.states.values():
+        layer_state = state.get(tag, {})
+        if layer_state.get("in_cs"):
+            count += 1
+    return count
+
+
+def mutual_exclusion_spec(tag: str = "me", concurrency: int = 2) -> SafetyDistributedSpec:
+    """The mutual-exclusion safety-distributed specification.
+
+    Its bad-factor is a single abstract configuration in which at least
+    ``concurrency`` processes occupy the critical section simultaneously —
+    each of those local behaviours is legal alone (point (2) of
+    Definition 5: every process does enter the CS in some correct
+    execution), but their combination is forbidden.
+    """
+
+    def bad(config: AbstractConfiguration) -> bool:
+        return concurrent_cs_count(config, tag) >= concurrency
+
+    return SafetyDistributedSpec(
+        name=f"mutual-exclusion[{tag}]",
+        bad_factor=BadFactor(name=f">={concurrency} processes in CS", predicates=(bad,)),
+    )

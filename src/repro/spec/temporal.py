@@ -1,0 +1,136 @@
+"""Temporal combinators over traces.
+
+A tiny linear-temporal vocabulary for writing execution properties the way
+the paper states them ("when requested, ... in finite time"; "never two
+concurrent ...").  Checkers in :mod:`repro.spec` are hand-rolled for
+precise diagnostics; these combinators complement them for quick ad-hoc
+properties in tests and experiments.
+
+All combinators operate on event predicates ``TraceEvent -> bool`` and
+return :class:`TemporalResult` (truthy on success, with a witness or
+counterexample event for diagnostics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.trace import Trace, TraceEvent
+
+__all__ = [
+    "EventPred",
+    "TemporalResult",
+    "event",
+    "eventually",
+    "always",
+    "never",
+    "leads_to",
+    "precedes",
+    "count",
+]
+
+EventPred = Callable[[TraceEvent], bool]
+
+
+@dataclass(frozen=True)
+class TemporalResult:
+    """Outcome of a temporal check; truthy iff the property holds."""
+
+    holds: bool
+    reason: str
+    witness: TraceEvent | None = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def event(kind: str, process: int | None = None, **fields) -> EventPred:
+    """Predicate builder: match kind, optionally process and data fields."""
+
+    def pred(e: TraceEvent) -> bool:
+        if e.kind != kind:
+            return False
+        if process is not None and e.process != process:
+            return False
+        return all(e.data.get(k) == v for k, v in fields.items())
+
+    return pred
+
+
+def eventually(trace: Trace, pred: EventPred, *, after: int = 0) -> TemporalResult:
+    """◇ pred — some event at time >= ``after`` satisfies ``pred``."""
+    for e in trace:
+        if e.time >= after and pred(e):
+            return TemporalResult(True, f"satisfied at t={e.time}", e)
+    return TemporalResult(False, f"no matching event at or after t={after}")
+
+
+def always(trace: Trace, pred: EventPred) -> TemporalResult:
+    """□ pred — every event satisfies ``pred``."""
+    for e in trace:
+        if not pred(e):
+            return TemporalResult(False, f"violated at t={e.time}", e)
+    return TemporalResult(True, "holds for all events")
+
+
+def never(trace: Trace, pred: EventPred) -> TemporalResult:
+    """□ ¬pred — no event satisfies ``pred``."""
+    for e in trace:
+        if pred(e):
+            return TemporalResult(False, f"occurred at t={e.time}", e)
+    return TemporalResult(True, "never occurred")
+
+
+def leads_to(
+    trace: Trace,
+    trigger: EventPred,
+    response: EventPred,
+    *,
+    within: int | None = None,
+) -> TemporalResult:
+    """trigger ⇝ response — every trigger is followed by a response.
+
+    With ``within``, the response must arrive no later than
+    ``trigger.time + within``.
+    """
+    events = list(trace)
+    for i, e in enumerate(events):
+        if not trigger(e):
+            continue
+        deadline = None if within is None else e.time + within
+        satisfied = any(
+            response(later)
+            for later in events[i + 1:]
+            if deadline is None or later.time <= deadline
+        )
+        if not satisfied:
+            limit = "" if deadline is None else f" within {within} ticks"
+            return TemporalResult(
+                False, f"trigger at t={e.time} never answered{limit}", e
+            )
+    return TemporalResult(True, "every trigger answered")
+
+
+def precedes(trace: Trace, first: EventPred, second: EventPred) -> TemporalResult:
+    """The first occurrence of ``first`` is before the first of ``second``.
+
+    Vacuously true when ``second`` never occurs; false when ``second``
+    occurs without any earlier ``first``.
+    """
+    first_time: int | None = None
+    for e in trace:
+        if first_time is None and first(e):
+            first_time = e.time
+        if second(e):
+            if first_time is None or first_time > e.time:
+                return TemporalResult(
+                    False, f"second event at t={e.time} not preceded", e
+                )
+            return TemporalResult(True, f"{first_time} <= {e.time}")
+    return TemporalResult(True, "second event never occurred (vacuous)")
+
+
+def count(trace: Trace, pred: EventPred) -> int:
+    """Number of events satisfying ``pred``."""
+    return sum(1 for e in trace if pred(e))

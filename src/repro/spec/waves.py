@@ -1,0 +1,69 @@
+"""Wave extraction: reconstructing PIF computations from a trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.sim.trace import EventKind, Trace, TraceEvent
+
+__all__ = ["Wave", "extract_waves"]
+
+
+@dataclass
+class Wave:
+    """One started PIF computation, as visible in the trace."""
+
+    pid: int
+    wave: tuple[int, int]
+    payload: object
+    start_time: int
+    decide_time: int | None = None
+    #: receive-brd events carrying this wave id, by receiving process.
+    brd_events: dict[int, list[TraceEvent]] = field(default_factory=dict)
+    #: receive-fck events carrying this wave id at the initiator, by sender.
+    fck_events: dict[int, list[TraceEvent]] = field(default_factory=dict)
+
+    @property
+    def decided(self) -> bool:
+        return self.decide_time is not None
+
+    @property
+    def duration(self) -> int | None:
+        if self.decide_time is None:
+            return None
+        return self.decide_time - self.start_time
+
+
+def extract_waves(trace: Trace, tag: str) -> list[Wave]:
+    """Reconstruct every started computation of the PIF instance ``tag``.
+
+    Start/decide events pair up per wave id; receive-brd / receive-fck
+    events attach to the wave whose id they carry (``debug_wave`` metadata;
+    garbage messages carry no wave id and attach to nothing).
+    """
+    waves: dict[tuple[int, int], Wave] = {}
+    for event in trace:
+        if event.get("tag") != tag:
+            continue
+        if event.kind == EventKind.START and "wave" in event.data:
+            wid = event["wave"]
+            waves[wid] = Wave(
+                pid=event.process,  # type: ignore[arg-type]
+                wave=wid,
+                payload=event.get("payload"),
+                start_time=event.time,
+            )
+        elif event.kind == EventKind.DECIDE and "wave" in event.data:
+            wave = waves.get(event["wave"])
+            if wave is not None and wave.decide_time is None:
+                wave.decide_time = event.time
+        elif event.kind == EventKind.RECEIVE_BRD:
+            wid = event.get("wave")
+            if wid in waves:
+                waves[wid].brd_events.setdefault(event.process, []).append(event)
+        elif event.kind == EventKind.RECEIVE_FCK:
+            wid = event.get("wave")
+            if wid in waves:
+                waves[wid].fck_events.setdefault(event["sender"], []).append(event)
+    return sorted(waves.values(), key=lambda w: w.start_time)

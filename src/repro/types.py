@@ -1,0 +1,30 @@
+"""Shared primitive types used across the library."""
+
+from __future__ import annotations
+
+import enum
+from typing import NewType
+
+#: Identity of a process. The paper assumes distinct comparable IDs.
+ProcessId = NewType("ProcessId", int)
+
+#: Simulated time, measured in integer ticks for exact determinism.
+Time = NewType("Time", int)
+
+
+class RequestState(enum.Enum):
+    """The tri-state request variable shared by all three protocols.
+
+    The external application sets the variable to :attr:`WAIT`; the protocol
+    switches it to :attr:`IN` when it starts a computation (the *start* event)
+    and to :attr:`DONE` when the computation terminates (the *decision*
+    event).  Hypothesis 1 of the paper: the application never re-requests
+    before the variable is back to :attr:`DONE`.
+    """
+
+    WAIT = "Wait"
+    IN = "In"
+    DONE = "Done"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RequestState.{self.name}"

@@ -1,0 +1,5 @@
+"""Execution visualization: ASCII space-time diagrams and event logs."""
+
+from repro.viz.spacetime import render_event_log, render_spacetime
+
+__all__ = ["render_event_log", "render_spacetime"]

@@ -1,0 +1,122 @@
+"""ASCII space-time diagrams of executions.
+
+Renders a trace as one lane per process with per-tick markers for the
+semantic events — the classic way distributed-algorithm papers draw
+executions (the paper's Figure 1 is exactly such a diagram).  Useful for
+debugging protocol runs and for the examples' output.
+
+Markers:
+
+====== =========================================
+``R``  request (application sets Request ← Wait)
+``S``  start (Request Wait → In)
+``D``  decide (Request In → Done)
+``b``  receive-brd
+``f``  receive-fck
+``[``  critical-section entry
+``]``  critical-section exit
+``p``  phase change (Protocol ME)
+``*``  several events in the same tick
+====== =========================================
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import EventKind, Trace, TraceEvent
+
+__all__ = ["render_spacetime", "render_event_log"]
+
+_MARKERS = {
+    EventKind.REQUEST: "R",
+    EventKind.START: "S",
+    EventKind.DECIDE: "D",
+    EventKind.RECEIVE_BRD: "b",
+    EventKind.RECEIVE_FCK: "f",
+    EventKind.CS_ENTER: "[",
+    EventKind.CS_EXIT: "]",
+    EventKind.PHASE: "p",
+}
+
+
+def _marked(events: list[TraceEvent]) -> str:
+    markers = {_MARKERS[e.kind] for e in events if e.kind in _MARKERS}
+    if not markers:
+        return "-"
+    if len(markers) == 1:
+        return markers.pop()
+    return "*"
+
+
+def render_spacetime(
+    trace: Trace,
+    pids: list[int] | tuple[int, ...],
+    *,
+    tag: str | None = None,
+    t0: int | None = None,
+    t1: int | None = None,
+    compress: bool = True,
+) -> str:
+    """Render one lane per process over time.
+
+    ``tag`` filters to one protocol instance; ``t0``/``t1`` bound the window
+    (defaults: full trace).  With ``compress`` (default) ticks where nothing
+    happened anywhere are elided and marked with ``..``.
+    """
+    events = [
+        e
+        for e in trace
+        if e.process in set(pids)
+        and e.kind in _MARKERS
+        and (tag is None or e.get("tag") == tag)
+    ]
+    if not events:
+        return "(no events)"
+    lo = t0 if t0 is not None else min(e.time for e in events)
+    hi = t1 if t1 is not None else max(e.time for e in events)
+    by_tick: dict[int, dict[int, list[TraceEvent]]] = {}
+    for e in events:
+        if lo <= e.time <= hi:
+            by_tick.setdefault(e.time, {}).setdefault(e.process, []).append(e)
+
+    ticks = sorted(by_tick) if compress else list(range(lo, hi + 1))
+    width = max(len(str(hi)), 4)
+    header = "t".rjust(width) + " | " + " ".join(f"p{pid}" for pid in pids)
+    lines = [header, "-" * len(header)]
+    previous_tick: int | None = None
+    for tick in ticks:
+        if compress and previous_tick is not None and tick > previous_tick + 1:
+            lines.append("..".rjust(width))
+        row = by_tick.get(tick, {})
+        cells = " ".join(
+            _marked(row.get(pid, [])).center(len(f"p{pid}")) for pid in pids
+        )
+        lines.append(str(tick).rjust(width) + " | " + cells)
+        previous_tick = tick
+    legend = "legend: R request, S start, D decide, b brd, f fck, [ ] CS, p phase"
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_event_log(
+    trace: Trace,
+    *,
+    tag: str | None = None,
+    kinds: tuple[str, ...] | None = None,
+    limit: int = 50,
+) -> str:
+    """A readable flat listing of semantic events (most recent last)."""
+    rows = []
+    for e in trace:
+        if tag is not None and e.get("tag") != tag:
+            continue
+        if kinds is not None and e.kind not in kinds:
+            continue
+        extra = ", ".join(
+            f"{k}={v!r}" for k, v in e.data.items() if k not in ("tag",)
+        )
+        where = f"p{e.process}" if e.process is not None else "--"
+        rows.append(f"t={e.time:>6} {where:>4} {e.kind:<12} {extra}")
+    if len(rows) > limit:
+        omitted = len(rows) - limit
+        rows = [f"... ({omitted} earlier events omitted)"] + rows[-limit:]
+    return "\n".join(rows) if rows else "(no events)"

@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.idl import IdlLayer
+from repro.core.mutex import MutexLayer
+from repro.core.pif import PifLayer
+from repro.sim.runtime import Simulator
+
+
+def build_pif(host) -> None:
+    host.register(PifLayer("pif"))
+
+
+def build_idl(host) -> None:
+    host.register(IdlLayer("idl"))
+
+
+def build_me(host) -> None:
+    host.register(MutexLayer("me"))
+
+
+@pytest.fixture
+def pif_sim() -> Simulator:
+    """A three-process system running one PIF instance."""
+    return Simulator(3, build_pif, seed=0)
+
+
+@pytest.fixture
+def pif_pair() -> Simulator:
+    """A two-process system running one PIF instance, manual mode."""
+    return Simulator(2, build_pif, seed=0, auto=False)
+
+
+@pytest.fixture
+def idl_sim() -> Simulator:
+    return Simulator(4, build_idl, seed=0)
+
+
+@pytest.fixture
+def me_sim() -> Simulator:
+    return Simulator(4, build_me, seed=0)

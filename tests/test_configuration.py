@@ -1,0 +1,115 @@
+"""Unit tests for configurations and projections (Definitions 2-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pif import PifLayer
+from repro.errors import ConfigurationError
+from repro.sim.configuration import (
+    capture,
+    capture_abstract,
+    restore,
+    sequence_projection,
+    state_projection,
+)
+from repro.sim.runtime import Simulator
+from repro.types import RequestState
+
+
+def build(host) -> None:
+    host.register(PifLayer("pif"))
+
+
+class TestCapture:
+    def test_capture_contains_all_processes(self):
+        sim = Simulator(3, build, auto=False)
+        config = capture(sim)
+        assert set(config.states) == {1, 2, 3}
+        assert "pif" in config.states[1]
+
+    def test_capture_includes_channels(self):
+        sim = Simulator(2, build, auto=False)
+        layer: PifLayer = sim.layer(1, "pif")
+        sim.inject(1, 2, layer.garbage_message(sim.rng), schedule=False)
+        config = capture(sim)
+        assert len(config.messages_in(1, 2)) == 1
+        assert config.messages_in(2, 1) == ()
+        assert config.total_in_flight() == 1
+
+    def test_capture_is_deep(self):
+        """Mutating the live system must not affect a prior capture."""
+        sim = Simulator(2, build, auto=False)
+        config = capture(sim)
+        sim.layer(1, "pif").state[2] = 0
+        assert config.states[1]["pif"]["state"][2] == 4
+
+    def test_abstract_drops_channels(self):
+        sim = Simulator(2, build, auto=False)
+        layer: PifLayer = sim.layer(1, "pif")
+        sim.inject(1, 2, layer.garbage_message(sim.rng), schedule=False)
+        abstract = capture(sim).abstract()
+        assert not hasattr(abstract, "channels")
+        assert set(abstract.states) == {1, 2}
+
+    def test_capture_abstract_shortcut(self):
+        sim = Simulator(2, build, auto=False)
+        assert capture_abstract(sim).states == capture(sim).abstract().states
+
+
+class TestRestore:
+    def test_roundtrip_process_state(self):
+        sim = Simulator(2, build, auto=False)
+        config = capture(sim)
+        sim.layer(1, "pif").request = RequestState.IN
+        sim.layer(1, "pif").state[2] = 2
+        restore(sim, config)
+        assert sim.layer(1, "pif").request is RequestState.DONE
+        assert sim.layer(1, "pif").state[2] == 4
+
+    def test_restore_repopulates_channels(self):
+        sim = Simulator(2, build, auto=False)
+        layer: PifLayer = sim.layer(1, "pif")
+        sim.inject(1, 2, layer.garbage_message(sim.rng), schedule=False)
+        config = capture(sim)
+        sim.network.clear_channels()
+        restore(sim, config)
+        assert sim.network.in_flight() == 1
+
+    def test_restore_clears_stale_channels(self):
+        sim = Simulator(2, build, auto=False)
+        config = capture(sim)  # empty channels
+        layer: PifLayer = sim.layer(1, "pif")
+        sim.inject(1, 2, layer.garbage_message(sim.rng), schedule=False)
+        restore(sim, config)
+        assert sim.network.in_flight() == 0
+
+
+class TestProjections:
+    def test_state_projection(self):
+        sim = Simulator(3, build, auto=False)
+        config = capture(sim)
+        proj = state_projection(config, 2)
+        assert proj == config.states[2]
+
+    def test_projection_unknown_pid(self):
+        sim = Simulator(2, build, auto=False)
+        with pytest.raises(ConfigurationError):
+            capture(sim).projection(42)
+
+    def test_sequence_projection(self):
+        sim = Simulator(2, build, auto=False)
+        c1 = capture(sim)
+        sim.layer(1, "pif").request = RequestState.IN
+        c2 = capture(sim)
+        seq = sequence_projection([c1, c2], 1)
+        assert seq[0]["pif"]["request"] is RequestState.DONE
+        assert seq[1]["pif"]["request"] is RequestState.IN
+
+    def test_abstract_equality(self):
+        sim = Simulator(2, build, auto=False)
+        assert capture_abstract(sim) == capture_abstract(sim)
+        sim.layer(1, "pif").state[2] = 1
+        a1 = capture_abstract(sim)
+        sim.layer(1, "pif").state[2] = 2
+        assert a1 != capture_abstract(sim)

@@ -1,0 +1,46 @@
+"""The shipped examples must run clean (they assert their own claims)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "name, needle",
+    [
+        ("quickstart.py", "All answers exact"),
+        ("impossibility_demo.py", "mutual exclusion violated: True"),
+        ("cluster_services.py", "behaved to spec"),
+    ],
+)
+def test_example_runs_clean(name, needle):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert needle in result.stdout
+
+
+def test_mutual_exclusion_example():
+    result = run_example("mutual_exclusion.py")
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Zero concurrent accesses" in result.stdout
+
+
+def test_fault_injection_example():
+    result = run_example("fault_injection.py", timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "no stabilization delay" in result.stdout

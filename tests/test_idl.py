@@ -1,0 +1,123 @@
+"""Tests for Protocol IDL (Algorithm 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.idl import IDL_PAYLOAD, IdlLayer
+from repro.core.requests import RequestDriver
+from repro.sim.channel import BernoulliLoss
+from repro.sim.runtime import Simulator
+from repro.spec.idl_spec import check_idl
+from repro.types import RequestState
+
+
+def build(host) -> None:
+    host.register(IdlLayer("idl"))
+
+
+class TestUnit:
+    def test_embeds_a_pif_instance(self):
+        sim = Simulator(2, build, auto=False)
+        tags = [layer.tag for layer in sim.host(1).layers]
+        assert tags == ["idl/pif", "idl"]
+
+    def test_ident_defaults_to_pid(self):
+        sim = Simulator(3, build, auto=False)
+        assert sim.layer(2, "idl").ident == 2
+
+    def test_custom_ident(self):
+        sim = Simulator(
+            2, lambda h: h.register(IdlLayer("idl", ident=h.pid * 100)), auto=False
+        )
+        assert sim.layer(2, "idl").ident == 200
+
+    def test_a1_starts_pif_wave(self):
+        sim = Simulator(2, build, auto=False)
+        layer: IdlLayer = sim.layer(1, "idl")
+        layer.request_learn()
+        sim.activate(1)
+        assert layer.request is RequestState.IN
+        assert layer.min_id == 1
+        assert layer.pif.b_mes == IDL_PAYLOAD
+        assert layer.pif.request is not RequestState.DONE
+
+    def test_on_broadcast_answers_identity(self):
+        sim = Simulator(2, build, auto=False)
+        layer: IdlLayer = sim.layer(2, "idl")
+        assert layer.on_broadcast(1, IDL_PAYLOAD) == 2
+        assert layer.on_broadcast(1, "garbage") is None
+
+    def test_on_feedback_tracks_minimum(self):
+        sim = Simulator(3, build, auto=False)
+        layer: IdlLayer = sim.layer(3, "idl")
+        layer.min_id = 3
+        layer.on_feedback(1, 1)
+        layer.on_feedback(2, 2)
+        assert layer.min_id == 1
+        assert layer.id_tab == {1: 1, 2: 2}
+
+    def test_on_feedback_ignores_non_int_garbage(self):
+        sim = Simulator(2, build, auto=False)
+        layer: IdlLayer = sim.layer(1, "idl")
+        layer.on_feedback(2, None)
+        layer.on_feedback(2, "junk")
+        assert layer.id_tab[2] == 0  # untouched default
+
+    def test_scramble_and_restore(self):
+        sim = Simulator(3, build, auto=False)
+        layer: IdlLayer = sim.layer(1, "idl")
+        snap = layer.snapshot()
+        layer.scramble(random.Random(3))
+        layer.restore(snap)
+        assert layer.min_id == 1
+
+
+class TestIntegration:
+    def test_learns_all_ids(self):
+        sim = Simulator(5, build, seed=0)
+        layer: IdlLayer = sim.layer(4, "idl")
+        layer.request_learn()
+        assert sim.run(300_000, until=lambda s: layer.request is RequestState.DONE)
+        assert layer.min_id == 1
+        assert layer.id_tab == {1: 1, 2: 2, 3: 3, 5: 5}
+
+    def test_custom_idents_change_minimum(self):
+        idents = {1: 500, 2: 7, 3: 300}
+        sim = Simulator(
+            3, lambda h: h.register(IdlLayer("idl", ident=idents[h.pid])), seed=1
+        )
+        layer: IdlLayer = sim.layer(1, "idl")
+        layer.request_learn()
+        assert sim.run(300_000, until=lambda s: layer.request is RequestState.DONE)
+        assert layer.min_id == 7
+        assert layer.id_tab == {2: 7, 3: 300}
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_snap_stabilizing_from_scramble(self, seed):
+        sim = Simulator(4, build, seed=seed, loss=BernoulliLoss(0.1))
+        sim.scramble(seed=seed + 50)
+        driver = RequestDriver(sim, "idl", requests_per_process=2)
+        assert sim.run(2_000_000, until=lambda s: driver.done)
+        sim.run(sim.now + 500)
+        verdict = check_idl(
+            sim.trace, "idl", {p: p for p in sim.pids},
+            final_requests={p: sim.layer(p, "idl").request for p in sim.pids},
+        )
+        assert verdict.ok, verdict.summary()
+
+    def test_concurrent_learners(self):
+        sim = Simulator(4, build, seed=9)
+        for p in sim.pids:
+            sim.layer(p, "idl").request_learn()
+        ok = sim.run(
+            500_000,
+            until=lambda s: all(
+                s.layer(p, "idl").request is RequestState.DONE for p in s.pids
+            ),
+        )
+        assert ok
+        for p in sim.pids:
+            assert sim.layer(p, "idl").min_id == 1

@@ -1,0 +1,227 @@
+"""Tests for Protocol ME (Algorithm 3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.mutex import ASK, EXIT, EXITCS, NO, OK, YES, MutexLayer
+from repro.core.requests import RequestDriver
+from repro.errors import ProtocolError
+from repro.sim.channel import BernoulliLoss
+from repro.sim.runtime import Simulator
+from repro.sim.trace import EventKind
+from repro.spec.mutex_spec import check_mutex, cs_intervals, service_order
+from repro.types import RequestState
+
+
+def build(host) -> None:
+    host.register(MutexLayer("me"))
+
+
+class TestUnit:
+    def test_embeds_idl_and_pif(self):
+        sim = Simulator(2, build, auto=False)
+        tags = [layer.tag for layer in sim.host(1).layers]
+        assert tags == ["me/idl/pif", "me/idl", "me/pif", "me"]
+
+    def test_rejects_negative_cs_duration(self):
+        with pytest.raises(ProtocolError):
+            MutexLayer("me", cs_duration=-1)
+
+    def test_winner_leader_with_value_zero(self):
+        sim = Simulator(3, build, auto=False)
+        layer: MutexLayer = sim.layer(1, "me")
+        layer.idl.min_id = 1
+        layer.value = 0
+        assert layer.winner()
+        layer.value = 2
+        assert not layer.winner()
+
+    def test_winner_by_leader_privilege(self):
+        sim = Simulator(3, build, auto=False)
+        layer: MutexLayer = sim.layer(2, "me")
+        layer.idl.min_id = 1
+        layer.idl.id_tab[1] = 1
+        layer.privileges[1] = True
+        assert layer.winner()
+        # A YES from a non-leader does not make a winner.
+        layer.privileges[1] = False
+        layer.privileges[3] = True
+        layer.idl.id_tab[3] = 3
+        assert not layer.winner()
+
+    def test_a0_takes_request_into_account(self):
+        sim = Simulator(2, build, auto=False)
+        layer: MutexLayer = sim.layer(1, "me")
+        layer.request_cs()
+        sim.activate(1)
+        assert layer.request is RequestState.IN
+        assert layer.phase == 1
+        assert layer.idl.request in (RequestState.WAIT, RequestState.IN)
+
+    def test_a5_ask_answers_by_value(self):
+        sim = Simulator(3, build, auto=False)
+        layer: MutexLayer = sim.layer(1, "me")
+        layer.value = layer.host.chan_num(2)
+        assert layer.on_broadcast(2, ASK) == YES
+        assert layer.on_broadcast(3, ASK) == NO
+
+    def test_a6_exit_resets_phase(self):
+        sim = Simulator(2, build, auto=False)
+        layer: MutexLayer = sim.layer(1, "me")
+        layer.phase = 3
+        assert layer.on_broadcast(2, EXIT) == OK
+        assert layer.phase == 0
+
+    def test_a7_exitcs_advances_value_only_for_favoured(self):
+        sim = Simulator(3, build, auto=False)
+        layer: MutexLayer = sim.layer(1, "me")
+        favoured = layer.host.chan_num(2)
+        layer.value = favoured
+        assert layer.on_broadcast(2, EXITCS) == OK
+        assert layer.value == (favoured + 1) % 3
+        before = layer.value
+        layer.on_broadcast(3, EXITCS)  # not favoured: value may change only if favoured
+        if layer.host.chan_num(3) != before:
+            assert layer.value == before
+
+    def test_a7_paper_modulus_reaches_dead_value(self):
+        sim = Simulator(
+            3, lambda h: h.register(MutexLayer("me", use_paper_modulus=True)),
+            auto=False,
+        )
+        layer: MutexLayer = sim.layer(1, "me")
+        layer.value = 2  # n-1
+        layer.on_broadcast(layer.host.peer_by_num(2), EXITCS)
+        assert layer.value == 3  # == n: favours nobody (the paper's typo)
+
+    def test_feedback_updates_privileges(self):
+        sim = Simulator(2, build, auto=False)
+        layer: MutexLayer = sim.layer(1, "me")
+        layer.on_feedback(2, YES)
+        assert layer.privileges[2]
+        layer.on_feedback(2, NO)
+        assert not layer.privileges[2]
+        layer.on_feedback(2, OK)  # no effect
+        assert not layer.privileges[2]
+
+    def test_garbage_payload_ignored(self):
+        sim = Simulator(2, build, auto=False)
+        layer: MutexLayer = sim.layer(1, "me")
+        assert layer.on_broadcast(2, "junk") is None
+
+    def test_scramble_domains(self):
+        sim = Simulator(4, build, auto=False)
+        layer: MutexLayer = sim.layer(1, "me")
+        layer.scramble(random.Random(5))
+        assert 0 <= layer.phase <= 4
+        assert 0 <= layer.value <= 3
+
+    def test_snapshot_restore(self):
+        sim = Simulator(2, build, auto=False)
+        layer: MutexLayer = sim.layer(1, "me")
+        layer.phase = 3
+        layer.value = 1
+        snap = layer.snapshot()
+        layer.phase = 0
+        layer.value = 0
+        layer.restore(snap)
+        assert (layer.phase, layer.value) == (3, 1)
+
+
+class TestIntegrationClean:
+    def test_single_request_served(self):
+        sim = Simulator(3, build, seed=0)
+        layer: MutexLayer = sim.layer(2, "me")
+        layer.request_cs()
+        assert sim.run(500_000, until=lambda s: layer.request is RequestState.DONE)
+        entries = [
+            e for e in sim.trace.of_kind(EventKind.CS_ENTER) if e.process == 2
+        ]
+        assert len(entries) == 1
+
+    def test_all_requests_served_exclusively(self):
+        sim = Simulator(4, build, seed=1)
+        driver = RequestDriver(sim, "me", requests_per_process=2)
+        assert sim.run(2_000_000, until=lambda s: driver.done)
+        verdict = check_mutex(sim.trace, "me", horizon=sim.now)
+        assert verdict.ok, verdict.summary()
+        assert driver.total_completed() == 8
+
+    def test_service_is_fair_round_robin_per_leader_value(self):
+        sim = Simulator(3, build, seed=2)
+        driver = RequestDriver(sim, "me", requests_per_process=2)
+        assert sim.run(2_000_000, until=lambda s: driver.done)
+        order = service_order(sim.trace, "me")
+        # Every process appears exactly twice: nobody starves or dominates.
+        assert sorted(order) == [1, 1, 2, 2, 3, 3]
+
+    def test_cs_duration_respected(self):
+        sim = Simulator(
+            2, lambda h: h.register(MutexLayer("me", cs_duration=7)), seed=3
+        )
+        layer = sim.layer(1, "me")
+        layer.request_cs()
+        assert sim.run(500_000, until=lambda s: layer.request is RequestState.DONE)
+        intervals = cs_intervals(sim.trace, "me")
+        assert intervals[0].exit - intervals[0].enter == 7
+
+    def test_zero_length_cs_supported(self):
+        sim = Simulator(
+            2, lambda h: h.register(MutexLayer("me", cs_duration=0)), seed=4
+        )
+        layer = sim.layer(1, "me")
+        layer.request_cs()
+        assert sim.run(500_000, until=lambda s: layer.request is RequestState.DONE)
+
+
+class TestSnapStabilization:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_safety_and_liveness_from_scramble(self, seed):
+        sim = Simulator(4, build, seed=seed, loss=BernoulliLoss(0.1))
+        sim.scramble(seed=seed + 40)
+        driver = RequestDriver(sim, "me", requests_per_process=2, first_at=1)
+        assert sim.run(6_000_000, until=lambda s: driver.done)
+        verdict = check_mutex(sim.trace, "me", horizon=sim.now)
+        assert verdict.ok, verdict.summary()
+
+    def test_scrambled_cs_occupant_eventually_leaves(self):
+        sim = Simulator(3, build, seed=7)
+        layer: MutexLayer = sim.layer(2, "me")
+        # Force the footnote-1 situation deterministically.
+        layer.in_cs = True
+        layer.host.emit(EventKind.CS_ENTER, tag="me", requested=False)
+        layer.host.set_busy_for(layer.cs_duration)
+        layer.host.call_later(layer.cs_duration, layer._scramble_exit_cs)
+        other = sim.layer(1, "me")
+        other.request_cs()
+        assert sim.run(500_000, until=lambda s: other.request is RequestState.DONE)
+        verdict = check_mutex(sim.trace, "me", horizon=sim.now,
+                              require_all_served=False)
+        assert verdict.ok, verdict.summary()
+
+    def test_paper_modulus_starves(self):
+        """The literal mod (n+1) of action A7 contradicts Lemma 11."""
+        sim = Simulator(
+            3, lambda h: h.register(MutexLayer("me", use_paper_modulus=True)),
+            seed=8,
+        )
+        driver = RequestDriver(sim, "me", requests_per_process=3)
+        completed = sim.run(120_000, until=lambda s: driver.done)
+        assert not completed
+        assert driver.total_completed() < 9
+
+    def test_non_leader_ident_map(self):
+        """Leadership follows identities, not pids."""
+        idents = {1: 900, 2: 5, 3: 700}
+        sim = Simulator(
+            3,
+            lambda h: h.register(MutexLayer("me", ident=idents[h.pid])),
+            seed=9,
+        )
+        driver = RequestDriver(sim, "me", requests_per_process=1)
+        assert sim.run(2_000_000, until=lambda s: driver.done)
+        verdict = check_mutex(sim.trace, "me", horizon=sim.now)
+        assert verdict.ok, verdict.summary()

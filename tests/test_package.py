@@ -1,0 +1,63 @@
+"""Package-level tests: public API surface, errors, types."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    ChannelError,
+    ConfigurationError,
+    ImpossibilityConstructionError,
+    ProtocolError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    SpecificationViolation,
+)
+from repro.types import RequestState
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.applications
+        import repro.baselines
+        import repro.core
+        import repro.sim
+        import repro.spec
+
+        for module in (repro.analysis, repro.applications, repro.baselines,
+                       repro.core, repro.sim, repro.spec):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (SimulationError, SchedulerError, ChannelError,
+                    ConfigurationError, ProtocolError, SpecificationViolation,
+                    ImpossibilityConstructionError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(SchedulerError, SimulationError)
+        assert issubclass(ChannelError, SimulationError)
+
+    def test_specification_violation_message(self):
+        exc = SpecificationViolation("PIF/Start", "never started")
+        assert exc.property_name == "PIF/Start"
+        assert "never started" in str(exc)
+
+
+class TestRequestState:
+    def test_three_states(self):
+        assert {s.value for s in RequestState} == {"Wait", "In", "Done"}
+
+    def test_repr(self):
+        assert repr(RequestState.WAIT) == "RequestState.WAIT"

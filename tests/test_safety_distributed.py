@@ -1,0 +1,84 @@
+"""Tests for the Definition 5 formalization (safety-distributed specs)."""
+
+from __future__ import annotations
+
+from repro.sim.configuration import AbstractConfiguration
+from repro.spec.safety_distributed import (
+    BadFactor,
+    concurrent_cs_count,
+    mutual_exclusion_spec,
+)
+
+
+def cfg(in_cs: dict[int, bool]) -> AbstractConfiguration:
+    return AbstractConfiguration(
+        states={pid: {"me": {"in_cs": v}} for pid, v in in_cs.items()}
+    )
+
+
+class TestBadFactor:
+    def test_single_predicate_window(self):
+        factor = BadFactor(
+            "two-in-cs", (lambda c: concurrent_cs_count(c) >= 2,)
+        )
+        configs = [
+            cfg({1: False, 2: False}),
+            cfg({1: True, 2: True}),
+            cfg({1: False, 2: False}),
+        ]
+        assert factor.find(configs) == 1
+        assert factor.matches(configs)
+
+    def test_no_match(self):
+        factor = BadFactor("two-in-cs", (lambda c: concurrent_cs_count(c) >= 2,))
+        configs = [cfg({1: True, 2: False}), cfg({1: False, 2: True})]
+        assert factor.find(configs) is None
+
+    def test_multi_predicate_window_must_be_contiguous(self):
+        factor = BadFactor(
+            "rise",
+            (
+                lambda c: concurrent_cs_count(c) == 1,
+                lambda c: concurrent_cs_count(c) == 2,
+            ),
+        )
+        ok = [cfg({1: True, 2: False}), cfg({1: True, 2: True})]
+        assert factor.matches(ok)
+        gap = [cfg({1: True, 2: False}), cfg({1: False, 2: False}),
+               cfg({1: True, 2: True})]
+        assert not factor.matches(gap)
+
+    def test_window_longer_than_sequence(self):
+        factor = BadFactor("x", (lambda c: True, lambda c: True))
+        assert not factor.matches([cfg({1: True})])
+
+    def test_len(self):
+        assert len(BadFactor("x", (lambda c: True,))) == 1
+
+
+class TestConcurrencyCount:
+    def test_counts_in_cs_flags(self):
+        assert concurrent_cs_count(cfg({1: True, 2: True, 3: False})) == 2
+
+    def test_missing_layer_counts_zero(self):
+        config = AbstractConfiguration(states={1: {"other": {}}})
+        assert concurrent_cs_count(config) == 0
+
+    def test_custom_tag(self):
+        config = AbstractConfiguration(states={1: {"mx": {"in_cs": True}}})
+        assert concurrent_cs_count(config, tag="mx") == 1
+
+
+class TestMutualExclusionSpec:
+    def test_violated_by_concurrent_cs(self):
+        spec = mutual_exclusion_spec()
+        assert spec.violated_by([cfg({1: True, 2: True})])
+
+    def test_not_violated_by_solo_cs(self):
+        spec = mutual_exclusion_spec()
+        assert not spec.violated_by([cfg({1: True, 2: False})])
+
+    def test_concurrency_threshold(self):
+        spec = mutual_exclusion_spec(concurrency=3)
+        assert not spec.violated_by([cfg({1: True, 2: True, 3: False})])
+        assert spec.violated_by([cfg({1: True, 2: True, 3: True})])

@@ -1,0 +1,149 @@
+"""Unit tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sim.scheduler import Scheduler
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Scheduler().now == 0
+
+    def test_schedule_at_runs_at_requested_time(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule_at(5, lambda: seen.append(sched.now))
+        sched.run_until(10)
+        assert seen == [5]
+
+    def test_schedule_in_is_relative(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule_at(3, lambda: sched.schedule_in(4, lambda: seen.append(sched.now)))
+        sched.run_until(100)
+        assert seen == [7]
+
+    def test_schedule_in_past_raises(self):
+        sched = Scheduler()
+        sched.schedule_at(5, lambda: None)
+        sched.run_until(10)
+        with pytest.raises(SchedulerError):
+            sched.schedule_at(2, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SchedulerError):
+            Scheduler().schedule_in(-1, lambda: None)
+
+    def test_same_tick_fifo_order(self):
+        sched = Scheduler()
+        seen = []
+        for i in range(5):
+            sched.schedule_at(7, lambda i=i: seen.append(i))
+        sched.run_until(7)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_time_ordering_across_ticks(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule_at(9, lambda: seen.append("late"))
+        sched.schedule_at(1, lambda: seen.append("early"))
+        sched.schedule_at(5, lambda: seen.append("mid"))
+        sched.run_until(10)
+        assert seen == ["early", "mid", "late"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sched = Scheduler()
+        seen = []
+        handle = sched.schedule_at(3, lambda: seen.append("x"))
+        handle.cancel()
+        sched.run_until(10)
+        assert seen == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sched = Scheduler()
+        handle = sched.schedule_at(1, lambda: None)
+        sched.run_until(5)
+        assert handle.fired
+        handle.cancel()  # must not raise
+
+    def test_pending_property(self):
+        sched = Scheduler()
+        handle = sched.schedule_at(1, lambda: None)
+        assert handle.pending
+        sched.run_until(5)
+        assert not handle.pending
+
+    def test_pending_count_excludes_cancelled(self):
+        sched = Scheduler()
+        h1 = sched.schedule_at(1, lambda: None)
+        sched.schedule_at(2, lambda: None)
+        h1.cancel()
+        assert sched.pending_count == 1
+
+
+class TestRunUntil:
+    def test_does_not_run_past_horizon(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule_at(5, lambda: seen.append(5))
+        sched.schedule_at(15, lambda: seen.append(15))
+        sched.run_until(10)
+        assert seen == [5]
+        assert sched.now == 10  # time advances to the horizon
+
+    def test_later_events_survive_horizon(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule_at(15, lambda: seen.append(15))
+        sched.run_until(10)
+        sched.run_until(20)
+        assert seen == [15]
+
+    def test_stop_predicate_halts_early(self):
+        sched = Scheduler()
+        seen = []
+        for t in range(1, 10):
+            sched.schedule_at(t, lambda t=t: seen.append(t))
+        sched.run_until(100, stop=lambda: len(seen) >= 3)
+        assert seen == [1, 2, 3]
+
+    def test_returns_executed_count(self):
+        sched = Scheduler()
+        for t in range(1, 6):
+            sched.schedule_at(t, lambda: None)
+        assert sched.run_until(100) == 5
+
+    def test_run_next_empty_returns_false(self):
+        assert Scheduler().run_next() is False
+
+    def test_run_next_executes_one(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule_at(1, lambda: seen.append(1))
+        sched.schedule_at(2, lambda: seen.append(2))
+        assert sched.run_next() is True
+        assert seen == [1]
+
+    def test_events_scheduled_during_run_execute(self):
+        sched = Scheduler()
+        seen = []
+
+        def chain():
+            seen.append(sched.now)
+            if sched.now < 5:
+                sched.schedule_in(1, chain)
+
+        sched.schedule_at(1, chain)
+        sched.run_until(100)
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_len_counts_queue_entries(self):
+        sched = Scheduler()
+        sched.schedule_at(1, lambda: None)
+        sched.schedule_at(2, lambda: None)
+        assert len(sched) == 2

@@ -1,0 +1,260 @@
+"""The checkers themselves must detect violations: synthetic-trace tests.
+
+A checker that always says OK would vacuously 'verify' the protocols, so
+every property gets a hand-built violating trace here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecificationViolation
+from repro.sim.trace import EventKind, Trace
+from repro.spec.idl_spec import check_idl
+from repro.spec.mutex_spec import check_mutex, cs_intervals
+from repro.spec.pif_spec import check_pif
+from repro.spec.waves import extract_waves
+from repro.types import RequestState
+
+PIDS = (1, 2, 3)
+
+
+def good_pif_trace() -> Trace:
+    """A perfect single-wave trace: start, brds, fcks, decide."""
+    t = Trace()
+    t.emit(0, EventKind.REQUEST, 1, tag="pif", payload="m")
+    t.emit(1, EventKind.START, 1, tag="pif", wave=(1, 1), payload="m")
+    t.emit(3, EventKind.RECEIVE_BRD, 2, tag="pif", sender=1, payload="m", wave=(1, 1))
+    t.emit(4, EventKind.RECEIVE_BRD, 3, tag="pif", sender=1, payload="m", wave=(1, 1))
+    t.emit(6, EventKind.RECEIVE_FCK, 1, tag="pif", sender=2, payload="f2", wave=(1, 1))
+    t.emit(7, EventKind.RECEIVE_FCK, 1, tag="pif", sender=3, payload="f3", wave=(1, 1))
+    t.emit(8, EventKind.DECIDE, 1, tag="pif", wave=(1, 1))
+    return t
+
+
+class TestPifChecker:
+    def test_good_trace_passes(self):
+        verdict = check_pif(good_pif_trace(), "pif", PIDS)
+        assert verdict.ok
+
+    def test_detects_missing_start(self):
+        t = Trace()
+        t.emit(0, EventKind.REQUEST, 1, tag="pif")
+        verdict = check_pif(t, "pif", PIDS)
+        assert not verdict.property_ok("Start")
+
+    def test_detects_unfinished_wave(self):
+        t = Trace()
+        t.emit(0, EventKind.START, 1, tag="pif", wave=(1, 1), payload="m")
+        verdict = check_pif(t, "pif", PIDS)
+        assert not verdict.property_ok("Termination")
+
+    def test_unfinished_wave_tolerated_when_requested(self):
+        t = Trace()
+        t.emit(0, EventKind.START, 1, tag="pif", wave=(1, 1), payload="m")
+        verdict = check_pif(t, "pif", PIDS, require_all_decided=False)
+        assert verdict.property_ok("Termination")
+
+    def test_detects_still_in_at_end(self):
+        verdict = check_pif(
+            good_pif_trace(), "pif", PIDS,
+            final_requests={1: RequestState.DONE, 2: RequestState.IN,
+                            3: RequestState.DONE},
+        )
+        assert not verdict.property_ok("Termination")
+
+    def test_detects_missing_broadcast_receipt(self):
+        t = good_pif_trace()
+        # Remove p3's brd by rebuilding without it.
+        t2 = Trace()
+        for e in t:
+            if e.kind == EventKind.RECEIVE_BRD and e.process == 3:
+                continue
+            t2.emit(e.time, e.kind, e.process, **e.data)
+        verdict = check_pif(t2, "pif", PIDS)
+        assert not verdict.property_ok("Correctness")
+
+    def test_detects_corrupted_payload(self):
+        t = Trace()
+        t.emit(1, EventKind.START, 1, tag="pif", wave=(1, 1), payload="m")
+        t.emit(3, EventKind.RECEIVE_BRD, 2, tag="pif", sender=1,
+               payload="WRONG", wave=(1, 1))
+        t.emit(4, EventKind.RECEIVE_BRD, 3, tag="pif", sender=1, payload="m",
+               wave=(1, 1))
+        t.emit(6, EventKind.RECEIVE_FCK, 1, tag="pif", sender=2, wave=(1, 1))
+        t.emit(7, EventKind.RECEIVE_FCK, 1, tag="pif", sender=3, wave=(1, 1))
+        t.emit(8, EventKind.DECIDE, 1, tag="pif", wave=(1, 1))
+        verdict = check_pif(t, "pif", PIDS)
+        assert not verdict.property_ok("Correctness")
+
+    def test_detects_missing_ack(self):
+        t = Trace()
+        t.emit(1, EventKind.START, 1, tag="pif", wave=(1, 1), payload="m")
+        t.emit(3, EventKind.RECEIVE_BRD, 2, tag="pif", sender=1, payload="m", wave=(1, 1))
+        t.emit(4, EventKind.RECEIVE_BRD, 3, tag="pif", sender=1, payload="m", wave=(1, 1))
+        t.emit(6, EventKind.RECEIVE_FCK, 1, tag="pif", sender=2, wave=(1, 1))
+        t.emit(8, EventKind.DECIDE, 1, tag="pif", wave=(1, 1))
+        verdict = check_pif(t, "pif", PIDS)
+        assert not verdict.property_ok("Correctness")
+
+    def test_detects_duplicate_ack(self):
+        t = good_pif_trace()
+        t.emit(7, EventKind.RECEIVE_FCK, 1, tag="pif", sender=3, wave=(1, 1))
+        t2 = Trace()
+        for e in sorted(t, key=lambda e: e.time):
+            t2.emit(e.time, e.kind, e.process, **e.data)
+        verdict = check_pif(t2, "pif", PIDS)
+        assert not verdict.property_ok("Decision")
+
+    def test_garbage_events_without_wave_ignored(self):
+        t = good_pif_trace()
+        t.emit(2, EventKind.RECEIVE_BRD, 2, tag="pif", sender=1,
+               payload="garbage", wave=None)
+        verdict = check_pif(t, "pif", PIDS)
+        assert verdict.ok
+
+    def test_other_tags_invisible(self):
+        t = good_pif_trace()
+        t.emit(2, EventKind.START, 2, tag="other", wave=(2, 1), payload="x")
+        verdict = check_pif(t, "pif", PIDS)
+        assert verdict.ok
+
+    def test_require_raises(self):
+        t = Trace()
+        t.emit(0, EventKind.REQUEST, 1, tag="pif")
+        with pytest.raises(SpecificationViolation):
+            check_pif(t, "pif", PIDS).require()
+
+
+class TestWaveExtraction:
+    def test_extracts_start_decide_pairs(self):
+        waves = extract_waves(good_pif_trace(), "pif")
+        assert len(waves) == 1
+        wave = waves[0]
+        assert wave.pid == 1
+        assert wave.decided
+        assert wave.duration == 7
+        assert set(wave.brd_events) == {2, 3}
+        assert set(wave.fck_events) == {2, 3}
+
+    def test_undecided_wave(self):
+        t = Trace()
+        t.emit(0, EventKind.START, 1, tag="pif", wave=(1, 1), payload="m")
+        wave = extract_waves(t, "pif")[0]
+        assert not wave.decided
+        assert wave.duration is None
+
+
+class TestIdlChecker:
+    def make_trace(self, min_id=1, id_tab=None):
+        t = Trace()
+        t.emit(0, EventKind.REQUEST, 2, tag="idl")
+        t.emit(1, EventKind.START, 2, tag="idl")
+        t.emit(9, EventKind.DECIDE, 2, tag="idl", min_id=min_id,
+               id_tab=id_tab if id_tab is not None else {1: 1, 3: 3})
+        return t
+
+    def test_good_trace_passes(self):
+        verdict = check_idl(self.make_trace(), "idl", {1: 1, 2: 2, 3: 3})
+        assert verdict.ok
+
+    def test_detects_wrong_minimum(self):
+        verdict = check_idl(self.make_trace(min_id=2), "idl", {1: 1, 2: 2, 3: 3})
+        assert not verdict.property_ok("Correctness")
+
+    def test_detects_wrong_table(self):
+        verdict = check_idl(
+            self.make_trace(id_tab={1: 1, 3: 99}), "idl", {1: 1, 2: 2, 3: 3}
+        )
+        assert not verdict.property_ok("Correctness")
+
+    def test_never_started_decides_unchecked(self):
+        t = Trace()
+        t.emit(9, EventKind.DECIDE, 2, tag="idl", min_id=42, id_tab={})
+        verdict = check_idl(t, "idl", {1: 1, 2: 2, 3: 3})
+        assert verdict.ok  # no start -> no guarantee
+
+    def test_detects_unserved_request(self):
+        t = Trace()
+        t.emit(0, EventKind.REQUEST, 2, tag="idl")
+        verdict = check_idl(t, "idl", {1: 1, 2: 2})
+        assert not verdict.property_ok("Start")
+
+
+class TestMutexChecker:
+    def test_overlap_between_requesters_detected(self):
+        t = Trace()
+        t.emit(10, EventKind.CS_ENTER, 1, tag="me", requested=True)
+        t.emit(12, EventKind.CS_ENTER, 2, tag="me", requested=True)
+        t.emit(15, EventKind.CS_EXIT, 1, tag="me")
+        t.emit(16, EventKind.CS_EXIT, 2, tag="me")
+        verdict = check_mutex(t, "me", horizon=20, require_all_served=False)
+        assert not verdict.property_ok("Correctness")
+
+    def test_requester_vs_zombie_overlap_detected(self):
+        t = Trace()
+        t.emit(0, EventKind.CS_ENTER, 1, tag="me", requested=False)
+        t.emit(2, EventKind.CS_ENTER, 2, tag="me", requested=True)
+        t.emit(5, EventKind.CS_EXIT, 1, tag="me")
+        t.emit(6, EventKind.CS_EXIT, 2, tag="me")
+        verdict = check_mutex(t, "me", horizon=20, require_all_served=False)
+        assert not verdict.property_ok("Correctness")
+
+    def test_zombie_only_overlap_tolerated(self):
+        """Footnote 1: non-requesting occupancies carry no guarantee."""
+        t = Trace()
+        t.emit(0, EventKind.CS_ENTER, 1, tag="me", requested=False)
+        t.emit(0, EventKind.CS_ENTER, 2, tag="me", requested=False)
+        t.emit(5, EventKind.CS_EXIT, 1, tag="me")
+        t.emit(5, EventKind.CS_EXIT, 2, tag="me")
+        verdict = check_mutex(t, "me", horizon=20, require_all_served=False)
+        assert verdict.ok
+
+    def test_sequential_sections_pass(self):
+        t = Trace()
+        t.emit(0, EventKind.CS_ENTER, 1, tag="me", requested=True)
+        t.emit(5, EventKind.CS_EXIT, 1, tag="me")
+        t.emit(5, EventKind.CS_ENTER, 2, tag="me", requested=True)
+        t.emit(9, EventKind.CS_EXIT, 2, tag="me")
+        verdict = check_mutex(t, "me", horizon=20, require_all_served=False)
+        assert verdict.ok
+
+    def test_open_interval_overlaps_via_horizon(self):
+        t = Trace()
+        t.emit(0, EventKind.CS_ENTER, 1, tag="me", requested=True)  # never exits
+        t.emit(50, EventKind.CS_ENTER, 2, tag="me", requested=True)
+        t.emit(55, EventKind.CS_EXIT, 2, tag="me")
+        verdict = check_mutex(t, "me", horizon=100, require_all_served=False)
+        assert not verdict.property_ok("Correctness")
+
+    def test_unserved_request_detected(self):
+        t = Trace()
+        t.emit(0, EventKind.REQUEST, 1, tag="me")
+        verdict = check_mutex(t, "me", horizon=100)
+        assert not verdict.property_ok("Start")
+
+    def test_cs_intervals_reconstruction(self):
+        t = Trace()
+        t.emit(1, EventKind.CS_ENTER, 1, tag="me", requested=True)
+        t.emit(4, EventKind.CS_EXIT, 1, tag="me")
+        t.emit(6, EventKind.CS_ENTER, 1, tag="me", requested=False)
+        intervals = cs_intervals(t, "me")
+        assert len(intervals) == 2
+        assert intervals[0].exit == 4
+        assert intervals[1].exit is None
+        assert not intervals[1].requested
+
+
+class TestVerdictApi:
+    def test_summary_lists_violations(self):
+        t = Trace()
+        t.emit(0, EventKind.REQUEST, 1, tag="pif")
+        verdict = check_pif(t, "pif", PIDS)
+        assert "Start" in verdict.summary()
+
+    def test_by_property_filtering(self):
+        t = Trace()
+        t.emit(0, EventKind.REQUEST, 1, tag="pif")
+        verdict = check_pif(t, "pif", PIDS)
+        assert len(verdict.by_property("Start")) == 1
+        assert verdict.by_property("Correctness") == []

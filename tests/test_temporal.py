@@ -1,0 +1,126 @@
+"""Tests for the temporal combinators, including on real protocol runs."""
+
+from __future__ import annotations
+
+from repro.core.mutex import MutexLayer
+from repro.core.requests import RequestDriver
+from repro.sim.runtime import Simulator
+from repro.sim.trace import EventKind, Trace
+from repro.spec.temporal import (
+    always,
+    count,
+    event,
+    eventually,
+    leads_to,
+    never,
+    precedes,
+)
+
+
+def make_trace() -> Trace:
+    trace = Trace()
+    trace.emit(0, EventKind.REQUEST, 1, tag="me")
+    trace.emit(5, EventKind.START, 1, tag="me")
+    trace.emit(9, EventKind.CS_ENTER, 1, tag="me", requested=True)
+    trace.emit(12, EventKind.CS_EXIT, 1, tag="me")
+    trace.emit(12, EventKind.DECIDE, 1, tag="me")
+    return trace
+
+
+class TestPredicates:
+    def test_event_matches_kind_process_fields(self):
+        pred = event(EventKind.CS_ENTER, process=1, requested=True)
+        trace = make_trace()
+        assert count(trace, pred) == 1
+        assert count(trace, event(EventKind.CS_ENTER, process=2)) == 0
+
+
+class TestEventually:
+    def test_found(self):
+        result = eventually(make_trace(), event(EventKind.DECIDE))
+        assert result
+        assert result.witness.time == 12
+
+    def test_not_found(self):
+        assert not eventually(make_trace(), event(EventKind.CS_ENTER, process=9))
+
+    def test_after_bound(self):
+        assert not eventually(make_trace(), event(EventKind.REQUEST), after=1)
+
+
+class TestAlwaysNever:
+    def test_always_holds(self):
+        assert always(make_trace(), lambda e: e.time >= 0)
+
+    def test_always_reports_counterexample(self):
+        result = always(make_trace(), lambda e: e.kind != EventKind.START)
+        assert not result
+        assert result.witness.kind == EventKind.START
+
+    def test_never(self):
+        assert never(make_trace(), event(EventKind.DROP_LOSS))
+        assert not never(make_trace(), event(EventKind.DECIDE))
+
+
+class TestLeadsTo:
+    def test_satisfied(self):
+        assert leads_to(
+            make_trace(), event(EventKind.REQUEST), event(EventKind.CS_ENTER)
+        )
+
+    def test_unanswered_trigger(self):
+        trace = make_trace()
+        trace.emit(20, EventKind.REQUEST, 2, tag="me")
+        result = leads_to(trace, event(EventKind.REQUEST), event(EventKind.CS_ENTER))
+        assert not result
+        assert result.witness.time == 20
+
+    def test_within_deadline(self):
+        assert not leads_to(
+            make_trace(), event(EventKind.REQUEST), event(EventKind.DECIDE),
+            within=5,
+        )
+        assert leads_to(
+            make_trace(), event(EventKind.REQUEST), event(EventKind.DECIDE),
+            within=12,
+        )
+
+
+class TestPrecedes:
+    def test_order_holds(self):
+        assert precedes(make_trace(), event(EventKind.START),
+                        event(EventKind.CS_ENTER))
+
+    def test_order_violated(self):
+        assert not precedes(make_trace(), event(EventKind.CS_ENTER),
+                            event(EventKind.START))
+
+    def test_vacuous_without_second(self):
+        assert precedes(make_trace(), event(EventKind.START),
+                        event(EventKind.DROP_LOSS))
+
+
+class TestOnRealRun:
+    def test_paper_properties_as_temporal_formulas(self):
+        """Specification 3 phrased with the combinators, on a real run."""
+        sim = Simulator(3, lambda h: h.register(MutexLayer("me")), seed=0)
+        sim.scramble(seed=5)
+        driver = RequestDriver(sim, "me", requests_per_process=1)
+        assert sim.run(3_000_000, until=lambda s: driver.done)
+        trace = sim.trace
+        # Start: every request leads to a start, and every start to a decide.
+        assert leads_to(trace, event(EventKind.REQUEST, tag="me"),
+                        event(EventKind.START, tag="me"))
+        # Each process's requested CS entry is eventually exited.
+        for pid in sim.pids:
+            assert leads_to(
+                trace,
+                event(EventKind.CS_ENTER, process=pid, tag="me", requested=True),
+                event(EventKind.CS_EXIT, process=pid, tag="me"),
+            )
+        # There was at least one requested CS per process.
+        for pid in sim.pids:
+            assert count(
+                trace,
+                event(EventKind.CS_ENTER, process=pid, tag="me", requested=True),
+            ) >= 1

@@ -1,0 +1,101 @@
+"""Unit tests for traces and semantic events."""
+
+from __future__ import annotations
+
+from repro.sim.trace import EventKind, Trace, TraceEvent
+
+
+def make_trace() -> Trace:
+    trace = Trace()
+    trace.emit(0, EventKind.REQUEST, 1, tag="pif")
+    trace.emit(2, EventKind.START, 1, tag="pif", wave=(1, 1))
+    trace.emit(5, EventKind.RECEIVE_BRD, 2, tag="pif", sender=1, payload="m")
+    trace.emit(8, EventKind.RECEIVE_FCK, 1, tag="pif", sender=2, payload="f")
+    trace.emit(9, EventKind.DECIDE, 1, tag="pif", wave=(1, 1))
+    return trace
+
+
+class TestEmitAndQuery:
+    def test_length_and_iteration(self):
+        trace = make_trace()
+        assert len(trace) == 5
+        assert [e.kind for e in trace] == [
+            EventKind.REQUEST, EventKind.START, EventKind.RECEIVE_BRD,
+            EventKind.RECEIVE_FCK, EventKind.DECIDE,
+        ]
+
+    def test_of_kind(self):
+        trace = make_trace()
+        assert len(trace.of_kind(EventKind.START)) == 1
+        assert len(trace.of_kind(EventKind.START, EventKind.DECIDE)) == 2
+
+    def test_for_process(self):
+        trace = make_trace()
+        assert len(trace.for_process(1)) == 4
+        assert len(trace.for_process(2)) == 1
+        assert len(trace.for_process(1, EventKind.DECIDE)) == 1
+
+    def test_between(self):
+        trace = make_trace()
+        assert [e.kind for e in trace.between(2, 8)] == [
+            EventKind.START, EventKind.RECEIVE_BRD, EventKind.RECEIVE_FCK,
+        ]
+
+    def test_where(self):
+        trace = make_trace()
+        assert len(trace.where(sender=1)) == 1
+        assert len(trace.where(tag="pif")) == 5
+        assert trace.where(sender=99) == []
+
+    def test_first_and_last(self):
+        trace = make_trace()
+        first = trace.first(EventKind.START)
+        assert first is not None and first.time == 2
+        assert trace.first(EventKind.CS_ENTER) is None
+        last = trace.last(EventKind.DECIDE, wave=(1, 1))
+        assert last is not None and last.time == 9
+
+    def test_getitem_and_data_access(self):
+        trace = make_trace()
+        event = trace[2]
+        assert event["sender"] == 1
+        assert event.get("missing", "default") == "default"
+
+    def test_events_property_is_tuple(self):
+        trace = make_trace()
+        assert isinstance(trace.events, tuple)
+
+    def test_extend(self):
+        trace = Trace()
+        trace.extend([TraceEvent(0, EventKind.NOTE, None)])
+        assert len(trace) == 1
+
+
+class TestStats:
+    def test_counters(self):
+        from repro.sim.stats import SimStats
+
+        stats = SimStats()
+        stats.record_send("a")
+        stats.record_send("a")
+        stats.record_send("b")
+        stats.record_delivery("a")
+        stats.dropped_full += 1
+        stats.dropped_loss += 1
+        assert stats.sent == 3
+        assert stats.delivered == 1
+        assert stats.dropped == 2
+        assert stats.sent_by_tag["a"] == 2
+        assert stats.delivered_by_tag["a"] == 1
+        assert 0 < stats.delivery_ratio < 1
+
+    def test_delivery_ratio_empty(self):
+        from repro.sim.stats import SimStats
+
+        assert SimStats().delivery_ratio == 1.0
+
+    def test_as_dict(self):
+        from repro.sim.stats import SimStats
+
+        d = SimStats().as_dict()
+        assert set(d) >= {"sent", "delivered", "dropped_full", "dropped_loss"}

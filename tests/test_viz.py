@@ -1,0 +1,84 @@
+"""Tests for the ASCII space-time renderer and event log."""
+
+from __future__ import annotations
+
+from repro.core.pif import PifLayer
+from repro.sim.runtime import Simulator
+from repro.sim.trace import EventKind, Trace
+from repro.types import RequestState
+from repro.viz.spacetime import render_event_log, render_spacetime
+
+
+def make_trace() -> Trace:
+    trace = Trace()
+    trace.emit(0, EventKind.REQUEST, 1, tag="pif")
+    trace.emit(1, EventKind.START, 1, tag="pif", wave=(1, 1))
+    trace.emit(5, EventKind.RECEIVE_BRD, 2, tag="pif", sender=1, payload="m")
+    trace.emit(9, EventKind.RECEIVE_FCK, 1, tag="pif", sender=2)
+    trace.emit(9, EventKind.DECIDE, 1, tag="pif", wave=(1, 1))
+    return trace
+
+
+class TestSpacetime:
+    def test_lanes_and_markers(self):
+        out = render_spacetime(make_trace(), [1, 2])
+        lines = out.splitlines()
+        assert lines[0].endswith("p1 p2")
+        assert any("R" in line for line in lines)
+        assert any("b" in line for line in lines)
+        # Same-tick collision at p1 (fck + decide) renders '*'.
+        assert any("*" in line for line in lines)
+
+    def test_compression_elides_gaps(self):
+        out = render_spacetime(make_trace(), [1, 2], compress=True)
+        assert ".." in out
+
+    def test_no_compression_shows_every_tick(self):
+        out = render_spacetime(make_trace(), [1, 2], compress=False)
+        assert ".." not in out
+        # ticks 0..9 inclusive plus header+separator+legend
+        assert len(out.splitlines()) == 10 + 3
+
+    def test_window_bounds(self):
+        out = render_spacetime(make_trace(), [1, 2], t0=5, t1=9)
+        assert " 0 |" not in out
+
+    def test_tag_filter(self):
+        trace = make_trace()
+        trace.emit(3, EventKind.START, 2, tag="other")
+        out = render_spacetime(trace, [1, 2], tag="pif")
+        assert "   3 |" not in out
+
+    def test_empty(self):
+        assert render_spacetime(Trace(), [1, 2]) == "(no events)"
+
+    def test_real_run_renders(self):
+        sim = Simulator(3, lambda h: h.register(PifLayer("pif")), seed=0)
+        layer = sim.layer(1, "pif")
+        layer.request_broadcast("m")
+        sim.run(100_000, until=lambda s: layer.request is RequestState.DONE)
+        out = render_spacetime(sim.trace, list(sim.pids), tag="pif")
+        assert "S" in out and "D" in out and "b" in out and "f" in out
+
+
+class TestEventLog:
+    def test_lists_events(self):
+        out = render_event_log(make_trace())
+        assert "receive-brd" in out
+        assert "t=" in out
+
+    def test_limit_truncates(self):
+        trace = Trace()
+        for t in range(100):
+            trace.emit(t, EventKind.NOTE, 1, tag="x")
+        out = render_event_log(trace, limit=10)
+        assert "90 earlier events omitted" in out
+        assert len(out.splitlines()) == 11
+
+    def test_kind_filter(self):
+        out = render_event_log(make_trace(), kinds=(EventKind.DECIDE,))
+        assert "decide" in out
+        assert "receive-brd" not in out
+
+    def test_empty(self):
+        assert render_event_log(Trace()) == "(no events)"
