@@ -1,9 +1,14 @@
 """E7 — message/time complexity of one PIF wave as a function of n.
 
 The algorithm predicts: per wave, the initiator completes a constant number
-(max_state = 4) of handshake round trips with each of its n-1 peers, so the
-message cost per wave grows linearly in n and the wave latency stays nearly
-flat (the handshakes proceed in parallel).
+(max_state = 4) of handshake round trips with each of its neighbours, so the
+message cost per wave grows linearly in n on the complete graph and the wave
+latency stays nearly flat (the handshakes proceed in parallel).
+
+This bench doubles as the engine's wall-clock yardstick: the n = 64
+complete-graph rows exercise the rebuilt scheduler/activation hot path
+(the PR introducing the topology subsystem measured >= 2x over the previous
+lazy-deletion engine here).
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from conftest import report
 from repro.analysis.runner import pif_scaling_row
 from repro.analysis.tables import render_table
 
-NS = [2, 3, 5, 8, 12]
+NS = [2, 3, 5, 8, 12, 24, 64]
 
 
 def run_experiment():
@@ -21,7 +26,7 @@ def run_experiment():
 
 
 def test_e7_scaling(benchmark):
-    rows_raw = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows_raw = benchmark.pedantic(run_experiment, rounds=3, iterations=1)
     rows = [
         [r["n"], r["messages_mean"], r["messages_per_peer"], r["duration_mean"]]
         for r in rows_raw

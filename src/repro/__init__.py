@@ -28,11 +28,19 @@ from repro.core import (
 from repro.errors import ReproError, SpecificationViolation
 from repro.sim import (
     BernoulliLoss,
+    Clustered,
+    Complete,
     EventKind,
+    Grid2D,
     Network,
     NoLoss,
+    RandomGnp,
+    Ring,
     Simulator,
+    Star,
+    Topology,
     Trace,
+    topology_from_spec,
 )
 from repro.types import ProcessId, RequestState, Time
 
@@ -40,11 +48,19 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BernoulliLoss",
+    "Clustered",
+    "Complete",
     "EventKind",
+    "Grid2D",
     "IdlLayer",
     "MutexLayer",
     "Network",
     "NoLoss",
+    "RandomGnp",
+    "Ring",
+    "Star",
+    "Topology",
+    "topology_from_spec",
     "PifClient",
     "PifLayer",
     "PifMessage",

@@ -18,6 +18,7 @@ from repro.core.requests import RequestDriver
 from repro.errors import SimulationError
 from repro.sim.channel import BernoulliLoss, NoLoss
 from repro.sim.runtime import Simulator
+from repro.sim.topology import Topology, arbitration_clusters, topology_from_spec
 from repro.spec.idl_spec import check_idl
 from repro.spec.mutex_spec import check_mutex
 from repro.spec.pif_spec import check_pif
@@ -33,6 +34,22 @@ __all__ = [
     "sweep_mutex",
     "pif_scaling_row",
 ]
+
+def _resolve_topology(
+    n: int, topology: Topology | str | None, seed: int
+) -> Topology | None:
+    """Normalize a trial's topology argument (None = the complete graph)."""
+    if isinstance(topology, str):
+        return topology_from_spec(topology, n, seed=seed)
+    return topology
+
+
+def _neighbor_map(sim: Simulator) -> dict[int, tuple[int, ...]] | None:
+    """Per-pid neighbour sets for spec checks; None on the complete graph
+    (keeps the paper's original global reading in reports)."""
+    if sim.topology.is_complete:
+        return None
+    return {p: sim.network.peers_of(p) for p in sim.pids}
 
 
 @dataclass
@@ -63,14 +80,17 @@ def run_pif_trial(
     scramble: bool = True,
     capacity: int = 1,
     max_state: int | None = None,
+    topology: Topology | str | None = None,
     horizon: int = 2_000_000,
 ) -> TrialResult:
     """One PIF trial (E3): all processes broadcast; Specification 1 checked."""
     if max_state is None:
         max_state = capacity + 3
+    top = _resolve_topology(n, topology, seed)
     sim = Simulator(
-        n,
+        n if top is None else None,
         lambda h: h.register(PifLayer("pif", max_state=max_state)),
+        topology=top,
         seed=seed,
         loss=_loss_model(loss),
         capacity=capacity,
@@ -86,11 +106,15 @@ def run_pif_trial(
         raise SimulationError(f"PIF trial did not finish within t={horizon}")
     sim.run(sim.now + 200)  # drain never-started computations
     finals = {p: sim.layer(p, "pif").request for p in sim.pids}
-    verdict = check_pif(sim.trace, "pif", sim.pids, final_requests=finals)
+    verdict = check_pif(
+        sim.trace, "pif", sim.pids, final_requests=finals,
+        neighbors=_neighbor_map(sim),
+    )
     waves = [w for w in extract_waves(sim.trace, "pif") if w.decided]
     durations = [w.duration for w in waves if w.duration is not None]
     return TrialResult(
-        params={"n": n, "seed": seed, "loss": loss, "capacity": capacity},
+        params={"n": n, "seed": seed, "loss": loss, "capacity": capacity,
+                "topology": sim.topology.name},
         ok=verdict.ok,
         violations=len(verdict.violations),
         measurements={
@@ -112,6 +136,7 @@ def run_idl_trial(
     requests_per_process: int = 2,
     scramble: bool = True,
     idents: dict[int, int] | None = None,
+    topology: Topology | str | None = None,
     horizon: int = 2_000_000,
 ) -> TrialResult:
     """One IDL trial (E4): Specification 2 checked against ground truth."""
@@ -120,7 +145,11 @@ def run_idl_trial(
         ident = idents[host.pid] if idents else None
         host.register(IdlLayer("idl", ident=ident))
 
-    sim = Simulator(n, build, seed=seed, loss=_loss_model(loss))
+    top = _resolve_topology(n, topology, seed)
+    sim = Simulator(
+        n if top is None else None, build, topology=top, seed=seed,
+        loss=_loss_model(loss),
+    )
     truth = {p: (idents[p] if idents else p) for p in sim.pids}
     if scramble:
         sim.scramble(seed=seed ^ 0x5EED)
@@ -130,10 +159,14 @@ def run_idl_trial(
         raise SimulationError(f"IDL trial did not finish within t={horizon}")
     sim.run(sim.now + 200)
     finals = {p: sim.layer(p, "idl").request for p in sim.pids}
-    verdict = check_idl(sim.trace, "idl", truth, final_requests=finals)
+    verdict = check_idl(
+        sim.trace, "idl", truth, final_requests=finals,
+        neighborhoods=_neighbor_map(sim),
+    )
     latencies = driver.latencies()
     return TrialResult(
-        params={"n": n, "seed": seed, "loss": loss},
+        params={"n": n, "seed": seed, "loss": loss,
+                "topology": sim.topology.name},
         ok=verdict.ok,
         violations=len(verdict.violations),
         measurements={
@@ -154,16 +187,23 @@ def run_mutex_trial(
     scramble: bool = True,
     cs_duration: int = 3,
     use_paper_modulus: bool = False,
+    topology: Topology | str | None = None,
     horizon: int = 6_000_000,
     require_completion: bool = True,
 ) -> TrialResult:
-    """One ME trial (E5): Specification 3 checked over the full trace."""
+    """One ME trial (E5): Specification 3 checked over the full trace.
+
+    On a non-complete topology the Correctness check runs per leader
+    cluster (the generalized guarantee — see :mod:`repro.core.mutex`).
+    """
+    top = _resolve_topology(n, topology, seed)
     sim = Simulator(
-        n,
+        n if top is None else None,
         lambda h: h.register(
             MutexLayer("me", cs_duration=cs_duration,
                        use_paper_modulus=use_paper_modulus)
         ),
+        topology=top,
         seed=seed,
         loss=_loss_model(loss),
     )
@@ -173,12 +213,19 @@ def run_mutex_trial(
     completed = sim.run(horizon, until=lambda s: driver.done)
     if require_completion and not completed:
         raise SimulationError(f"ME trial did not finish within t={horizon}")
+    clusters = (
+        None
+        if sim.topology.is_complete
+        else list(arbitration_clusters(sim.topology).values())
+    )
     verdict = check_mutex(
-        sim.trace, "me", horizon=sim.now, require_all_served=completed
+        sim.trace, "me", horizon=sim.now, require_all_served=completed,
+        clusters=clusters,
     )
     latencies = driver.latencies()
     return TrialResult(
-        params={"n": n, "seed": seed, "loss": loss},
+        params={"n": n, "seed": seed, "loss": loss,
+                "topology": sim.topology.name},
         ok=verdict.ok and (completed or not require_completion),
         violations=len(verdict.violations),
         measurements={
@@ -224,19 +271,34 @@ def sweep_mutex(
     ]
 
 
-def pif_scaling_row(n: int, *, seeds: list[int], loss: float = 0.0) -> dict[str, Any]:
+def pif_scaling_row(
+    n: int,
+    *,
+    seeds: list[int],
+    loss: float = 0.0,
+    topology: Topology | str | None = None,
+) -> dict[str, Any]:
     """E7: message/latency cost of one wave as a function of n.
 
-    One requesting initiator; the cost of a complete wave is Θ(n) messages
-    per resend round and a constant number (max_state) of round trips.
+    One requesting initiator; the cost of a complete wave is Θ(deg) messages
+    per resend round and a constant number (max_state) of round trips —
+    Θ(n) per round on the paper's complete graph.
     """
     msg_counts: list[int] = []
+    per_peer: list[float] = []
     durations: list[int] = []
+    name = "complete"
     for seed in seeds:
+        top = _resolve_topology(n, topology, seed)
         sim = Simulator(
-            n, lambda h: h.register(PifLayer("pif")), seed=seed
+            n if top is None else None,
+            lambda h: h.register(PifLayer("pif")),
+            topology=top,
+            seed=seed,
         )
-        layer = sim.layer(sim.pids[0], "pif")
+        initiator = sim.pids[0]
+        name = sim.topology.name
+        layer = sim.layer(initiator, "pif")
         layer.request_broadcast("scale")
         from repro.types import RequestState
 
@@ -245,10 +307,14 @@ def pif_scaling_row(n: int, *, seeds: list[int], loss: float = 0.0) -> dict[str,
             raise SimulationError(f"scaling wave (n={n}, seed={seed}) never decided")
         waves = [w for w in extract_waves(sim.trace, "pif") if w.decided]
         msg_counts.append(sim.stats.sent)
+        # Per-seed ratio: a seeded random family (gnp) gives each seed a
+        # different graph, so the initiator's degree varies per trial.
+        per_peer.append(sim.stats.sent / sim.network.degree(initiator))
         durations.append(waves[0].duration or 0)
     return {
         "n": n,
+        "topology": name,
         "messages_mean": round(sum(msg_counts) / len(msg_counts), 1),
-        "messages_per_peer": round(sum(msg_counts) / len(msg_counts) / (n - 1), 1),
+        "messages_per_peer": round(sum(per_peer) / len(per_peer), 1),
         "duration_mean": round(sum(durations) / len(durations), 1),
     }

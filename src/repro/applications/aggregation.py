@@ -1,12 +1,16 @@
-"""Snap-stabilizing global aggregation (reduce) on top of Protocol PIF.
+"""Snap-stabilizing aggregation (reduce) on top of Protocol PIF.
 
-One wave computes ``reduce(op, [value_1, ..., value_n])`` over a
-per-process value provider: the initiator broadcasts an aggregation
-request; every process feeds back its current value; the initiator folds
-the answers.  IDs-Learning (Algorithm 2) is precisely the instance
-``op = min`` over identities — this layer generalizes it to arbitrary
-associative operators (sum, max, min, ...), the way PIF-based protocols are
-used for global function computation.
+One wave computes ``reduce(op, values)`` over a per-process value provider:
+the initiator broadcasts an aggregation request; every process feeds back
+its current value; the initiator folds the answers.  IDs-Learning
+(Algorithm 2) is precisely the instance ``op = min`` over identities — this
+layer generalizes it to arbitrary associative operators (sum, max, min,
+...), the way PIF-based protocols are used for global function computation.
+
+On the paper's complete graph one wave aggregates over the whole system; on
+a pluggable topology it aggregates over the initiator's *closed
+neighbourhood* (the wave's reach) — :func:`run_aggregation_demo` reports
+both the result and the covered processes so the scope is explicit.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from repro.sim.process import Action, Layer
 from repro.sim.trace import EventKind
 from repro.types import RequestState
 
-__all__ = ["AggregationLayer", "AGG"]
+__all__ = ["AggregationLayer", "AGG", "run_aggregation_demo"]
 
 AGG = "AGG"
 
@@ -137,3 +141,73 @@ class AggregationLayer(Layer, PifClient):
         self.request = state["request"]
         self.collected = dict(state["collected"])
         self.result = state["result"]
+
+
+_OPS: dict[str, Callable[[float, float], float]] = {
+    "sum": lambda a, b: a + b,
+    "min": min,
+    "max": max,
+}
+
+
+def run_aggregation_demo(
+    n: int = 4,
+    *,
+    topology: "object | str | None" = None,
+    op: str = "sum",
+    seed: int = 0,
+    initiator: int | None = None,
+    scramble: bool = True,
+    horizon: int = 500_000,
+) -> dict[str, Any]:
+    """One aggregation wave over ``value(p) = p * 10``; returns a result row.
+
+    ``topology`` takes a Topology, a spec string (``"ring"``, ``"gnp:0.3"``,
+    ...), or None for the complete graph.  The wave covers the initiator's
+    closed neighbourhood; the row records that scope alongside the result
+    and the ground-truth expectation over it.
+    """
+    from repro.errors import SimulationError
+    from repro.sim.runtime import Simulator
+
+    if op not in _OPS:
+        raise SimulationError(f"unknown aggregation op {op!r}; one of {sorted(_OPS)}")
+    fold = _OPS[op]
+    sim = Simulator(
+        n,
+        lambda host: host.register(
+            AggregationLayer(
+                "agg", value_provider=lambda pid=host.pid: float(pid * 10),
+                op=fold,
+            )
+        ),
+        topology=topology,
+        seed=seed,
+    )
+    if scramble:
+        sim.scramble(seed=seed ^ 0x5EED)
+    pid = initiator if initiator is not None else sim.pids[0]
+    layer = sim.layer(pid, "agg")
+    layer.request_aggregate()
+    done = sim.run(
+        horizon,
+        until=lambda s: layer.request is RequestState.DONE and layer.result is not None,
+    )
+    if not done:
+        raise SimulationError(f"aggregation wave never decided within t={horizon}")
+    covered = (pid,) + sim.network.peers_of(pid)
+    values = [float(q * 10) for q in covered]
+    expected = values[0]
+    for value in values[1:]:
+        expected = fold(expected, value)
+    return {
+        "topology": sim.topology.name,
+        "initiator": pid,
+        "op": op,
+        "covered": len(covered),
+        "result": layer.result,
+        "expected": expected,
+        "correct": layer.result == expected,
+        "time": sim.now,
+        "messages": sim.stats.sent,
+    }

@@ -10,6 +10,13 @@ Usage::
     python -m repro compare --seeds 0 1 2 3   # E6
     python -m repro ablations                 # E8
     python -m repro property1                 # E9a
+    python -m repro pif --topology ring       # E3 on a ring
+    python -m repro matrix --n 8              # E11 topology x fault matrix
+    python -m repro aggregate --topology star # application demo
+
+Every trial-style experiment accepts ``--topology`` (complete, ring, star,
+grid[:RxC], gnp[:P], clustered[:K]) and sweeps the same specification,
+generalized to the wave's reach on non-complete graphs.
 """
 
 from __future__ import annotations
@@ -29,7 +36,9 @@ from repro.analysis.experiments import (
     run_figure1,
     run_impossibility_experiment,
     run_property1_check,
+    run_topology_matrix,
 )
+from repro.applications.aggregation import run_aggregation_demo
 from repro.analysis.runner import (
     pif_scaling_row,
     run_idl_trial,
@@ -43,6 +52,7 @@ __all__ = ["main", "build_parser"]
 _EXPERIMENTS = (
     "figure1", "impossibility", "pif", "idl", "mutex",
     "compare", "scaling", "ablations", "property1", "capacity",
+    "matrix", "aggregate",
 )
 
 
@@ -72,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--loss", type=float, default=0.1)
         p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
         p.add_argument("--requests", type=int, default=2)
+        _add_topology_arg(p)
 
     p = sub.add_parser("compare", help="E6: snap vs self-stabilization")
     p.add_argument("--n", type=int, default=4)
@@ -80,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scaling", help="E7: wave cost vs system size")
     p.add_argument("--ns", type=int, nargs="+", default=[2, 3, 5, 8])
     p.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    _add_topology_arg(p)
 
     sub.add_parser("ablations", help="E8: flag domain / modulus / naive PIF")
 
@@ -89,7 +101,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("capacity", help="E9b: capacity-c extension")
     p.add_argument("--capacities", type=int, nargs="+", default=[1, 2, 4])
 
+    p = sub.add_parser("matrix", help="E11: topology x fault scenario matrix")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    p.add_argument(
+        "--topologies", nargs="+",
+        default=["complete", "ring", "star", "grid", "gnp:0.35", "clustered:2"],
+    )
+    p.add_argument("--losses", type=float, nargs="+", default=[0.0, 0.2])
+    p.add_argument("--protocol", choices=["pif", "mutex"], default="pif")
+
+    p = sub.add_parser("aggregate", help="application demo: PIF aggregation wave")
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--op", choices=["sum", "min", "max"], default="sum")
+    p.add_argument("--seeds", type=int, nargs="+", default=[0])
+    _add_topology_arg(p)
+
     return parser
+
+
+def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology", default=None, metavar="SPEC",
+        help="communication graph: complete (default), ring, star, grid[:RxC], "
+             "gnp[:P], clustered[:K]",
+    )
 
 
 def _cmd_figure1(args) -> str:
@@ -113,10 +149,11 @@ def _cmd_impossibility(args) -> str:
 def _cmd_trials(args, runner, title: str) -> str:
     trials = [
         runner(args.n, seed=s, loss=args.loss,
-               requests_per_process=args.requests)
+               requests_per_process=args.requests,
+               topology=args.topology)
         for s in args.seeds
     ]
-    keys = ["n", "seed", "loss", "ok", "violations"]
+    keys = ["n", "topology", "seed", "loss", "ok", "violations"]
     extra = sorted(
         k for k in trials[0].measurements if isinstance(
             trials[0].measurements[k], (int, float, bool))
@@ -142,10 +179,13 @@ def _cmd_compare(args) -> str:
 
 
 def _cmd_scaling(args) -> str:
-    rows = [pif_scaling_row(n, seeds=args.seeds) for n in args.ns]
+    rows = [
+        pif_scaling_row(n, seeds=args.seeds, topology=args.topology)
+        for n in args.ns
+    ]
     return render_table(
-        ["n", "messages/wave", "messages/peer", "duration"],
-        [[r["n"], r["messages_mean"], r["messages_per_peer"],
+        ["n", "topology", "messages/wave", "messages/peer", "duration"],
+        [[r["n"], r["topology"], r["messages_mean"], r["messages_per_peer"],
           r["duration_mean"]] for r in rows],
         title="E7 — PIF wave cost vs n",
     )
@@ -177,6 +217,28 @@ def _cmd_property1(args) -> str:
     return render_table(
         list(row.keys()), [list(row.values())],
         title="E9a / Property 1 — channel flushing",
+    )
+
+
+def _cmd_matrix(args) -> str:
+    rows = run_topology_matrix(
+        n=args.n, topologies=args.topologies, losses=args.losses,
+        seeds=args.seeds, protocol=args.protocol,
+    )
+    return render_table(
+        list(rows[0].keys()), [list(r.values()) for r in rows],
+        title=f"E11 — topology x fault matrix ({args.protocol})",
+    )
+
+
+def _cmd_aggregate(args) -> str:
+    rows = [
+        run_aggregation_demo(args.n, topology=args.topology, op=args.op, seed=s)
+        for s in args.seeds
+    ]
+    return render_table(
+        list(rows[0].keys()), [list(r.values()) for r in rows],
+        title="aggregation — one PIF reduce wave",
     )
 
 
@@ -215,6 +277,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _cmd_property1(args)
     elif args.command == "capacity":
         output = _cmd_capacity(args)
+    elif args.command == "matrix":
+        output = _cmd_matrix(args)
+    elif args.command == "aggregate":
+        output = _cmd_aggregate(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     print(output)

@@ -4,6 +4,11 @@ A direct application of Protocol PIF: the initiator broadcasts the constant
 payload ``IDL``; every process feeds back its identity; at decision time the
 initiator knows every peer's ID (``ID-Tab``) and the minimum ID of the
 system (``minID``).  Snap-stabilizing for Specification 2 (Theorem 3).
+
+On a non-complete topology the wave spans the initiator's neighbourhood, so
+``ID-Tab`` covers the neighbours and ``minID`` is the *closed neighbourhood*
+minimum — the quantity ME's per-cluster arbitration consumes.  On the
+paper's complete graph this is the global minimum, as in the paper.
 """
 
 from __future__ import annotations

@@ -24,7 +24,7 @@ from typing import Any
 __all__ = ["PifMessage"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PifMessage:
     """The single message type of Protocol PIF (Algorithm 1)."""
 

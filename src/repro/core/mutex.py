@@ -19,16 +19,39 @@ channel ``k``.  Each process cycles through five phases:
   ``Value`` on its behalf.
 * **Phase 4** — once the EXITCS wave decided, return to phase 0.
 
-Deviations from the paper, both documented in DESIGN.md:
+Deviations from the paper, documented in DESIGN.md:
 
-* A7 increments ``Value`` modulo ``n`` rather than the paper's ``n + 1``:
-  value ``n`` favours nobody and would stall the leader forever,
-  contradicting the paper's own liveness lemma (Lemma 11).  Pass
-  ``use_paper_modulus=True`` to reproduce the stall (ablation E8b).
+* A7 increments ``Value`` modulo ``deg(p) + 1`` (= ``n`` on the paper's
+  complete graph) rather than the paper's ``n + 1``: the extra value
+  favours nobody and would stall the leader forever, contradicting the
+  paper's own liveness lemma (Lemma 11).  Pass ``use_paper_modulus=True``
+  to reproduce the stall (ablation E8b).
 * The critical section takes ``cs_duration`` ticks instead of being
   instantaneous-inside-A3.  The process stays *busy* for the whole span
   (no activations, no deliveries), which preserves the paper's atomicity
   argument while making the mutual-exclusion property observable.
+
+**Non-complete topologies.**  The paper assumes the complete graph, where
+every process learns the one global leader and that leader's ``Value``
+arbitrates globally.  On a pluggable topology each process learns its
+*closed neighbourhood* minimum instead, so arbitration happens per *leader
+cluster* (processes sharing a leader — see
+:func:`repro.sim.topology.arbitration_clusters`); on the complete graph the
+single cluster recovers the global guarantee.  Two extra deviations, active
+only when the topology is not complete (complete-graph runs are bit-for-bit
+identical to before), keep every arbiter's ``Value`` rotating:
+
+* a releasing *leader* also broadcasts ``EXITCS`` — on the complete graph
+  nobody consults another arbiter, but here a neighbour whose own arbiter
+  currently favours this leader needs the release notification to advance;
+* an arbiter that is not its own leader escapes ``Value = 0`` (which
+  favours only the process itself — meaningful solely at self-leaders) on
+  any ``EXITCS`` receipt.
+
+Liveness of the generalized rotation: an arbiter stuck favouring ``m``
+waits on ``m`` winning via ``m``'s own leader, whose identity is <= the
+arbiter's — every waits-on chain descends in leader identity, cycles are
+impossible, and the chain bottoms out at a self-leader that rotates itself.
 """
 
 from __future__ import annotations
@@ -93,6 +116,9 @@ class MutexLayer(Layer, PifClient):
         assert self.host is not None
         for q in self.host.others:
             self.privileges.setdefault(q, False)
+        # Complete-graph runs keep the paper's exact behaviour; the two
+        # generalization deviations (module docstring) gate on this flag.
+        self._complete_topology = self.host.topology_complete
 
     @property
     def ident(self) -> int:
@@ -101,8 +127,8 @@ class MutexLayer(Layer, PifClient):
     @property
     def _value_modulus(self) -> int:
         assert self.host is not None
-        n = self.host.n
-        return n + 1 if self.use_paper_modulus else n
+        base = self.host.degree + 1  # = n on the complete graph
+        return base + 1 if self.use_paper_modulus else base
 
     # -- external interface ----------------------------------------------------------
 
@@ -228,6 +254,10 @@ class MutexLayer(Layer, PifClient):
         """Tail of A3: notify the leader that the CS is free again."""
         if self.idl.min_id == self.ident:
             self.value = 1
+            if not self._complete_topology:
+                # Generalization deviation: a neighbour arbiter whose Value
+                # currently favours this leader advances only on EXITCS.
+                self.pif.request_broadcast(EXITCS)
         else:
             self.pif.request_broadcast(EXITCS)
 
@@ -259,6 +289,15 @@ class MutexLayer(Layer, PifClient):
             # A7: the favoured process released; favour the next one.
             if self.value == self.host.chan_num(sender):
                 self.value = (self.value + 1) % self._value_modulus
+            elif (
+                not self._complete_topology
+                and self.value == 0
+                and self.idl.min_id != self.ident
+            ):
+                # Generalization deviation: Value = 0 favours only the
+                # process itself, which is meaningful solely at a
+                # self-leader; any other arbiter escapes it.
+                self.value = 1
             return OK
         return None  # garbage payload outside the alphabet
 

@@ -24,6 +24,12 @@ The five-valued flag domain is configurable via ``max_state``:
 Clients receive the paper's events as synchronous upcalls:
 ``on_broadcast`` (receive-brd; the return value becomes ``F-Mes``),
 ``on_feedback`` (receive-fck) and ``on_decide``.
+
+The layer consumes its peer set through the host's local channel numbering
+(``host.others``), never through an ``n - 1`` assumption: on a pluggable
+non-complete topology a wave spans exactly the initiator's neighbourhood
+(the handshake argument is per-channel, so snap-stabilization is preserved
+edge by edge); on the paper's complete graph that is all other processes.
 """
 
 from __future__ import annotations
@@ -101,10 +107,13 @@ class PifLayer(Layer):
 
     def on_attach(self) -> None:
         assert self.host is not None
-        for q in self.host.others:
-            self.f_mes.setdefault(q, None)
-            self.state.setdefault(q, self.max_state)
-            self.neig_state.setdefault(q, 0)
+        # Comprehensions instead of per-key setdefault: attach runs for
+        # every layer of every host, so this is simulator-construction cost.
+        others = self.host.others
+        f_mes, state, neig = self.f_mes, self.state, self.neig_state
+        self.f_mes = {q: f_mes.get(q) for q in others}
+        self.state = {q: state.get(q, self.max_state) for q in others}
+        self.neig_state = {q: neig.get(q, 0) for q in others}
 
     # -- external interface -----------------------------------------------------
 

@@ -78,7 +78,7 @@ class RequestDriver:
             for pid in (pids if pids is not None else sim.pids)
         }
         self._issue_counter: dict[int, int] = {pid: 0 for pid in self._per_process}
-        sim.scheduler.schedule_at(first_at, self._tick)
+        sim.scheduler.post_at(first_at, self._tick)
 
     # -- polling --------------------------------------------------------------
 
@@ -103,7 +103,7 @@ class RequestDriver:
             slot.remaining -= 1
             slot.issued_at = now
         if self._unfinished():
-            self.sim.scheduler.schedule_in(self.poll, self._tick)
+            self.sim.scheduler.post_in(self.poll, self._tick)
 
     def _issue(self, pid: int, layer: Any) -> None:
         count = self._issue_counter[pid]

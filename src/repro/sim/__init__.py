@@ -5,6 +5,8 @@ Public surface:
 * :class:`~repro.sim.runtime.Simulator` — the runtime;
 * :class:`~repro.sim.process.Layer`, :class:`~repro.sim.process.Action`,
   :class:`~repro.sim.process.ProcessHost` — the guarded-action process model;
+* topologies (:mod:`repro.sim.topology`) — the pluggable communication
+  graphs the network and protocols run over;
 * channels and loss models (:mod:`repro.sim.channel`);
 * configurations and projections (:mod:`repro.sim.configuration`);
 * adversaries (:mod:`repro.sim.adversary`);
@@ -39,6 +41,17 @@ from repro.sim.process import Action, Layer, ProcessHost
 from repro.sim.runtime import Simulator
 from repro.sim.scheduler import Scheduler
 from repro.sim.stats import SimStats
+from repro.sim.topology import (
+    Clustered,
+    Complete,
+    Grid2D,
+    RandomGnp,
+    Ring,
+    Star,
+    Topology,
+    arbitration_clusters,
+    topology_from_spec,
+)
 from repro.sim.trace import EventKind, Trace, TraceEvent
 
 __all__ = [
@@ -46,9 +59,16 @@ __all__ = [
     "AbstractConfiguration",
     "BernoulliLoss",
     "BoundedChannel",
+    "Clustered",
+    "Complete",
     "Configuration",
     "DropFirstK",
     "EventKind",
+    "Grid2D",
+    "RandomGnp",
+    "Ring",
+    "Star",
+    "Topology",
     "GilbertElliottLoss",
     "HeaderCorruption",
     "PeriodicLoss",
@@ -64,9 +84,11 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "UnboundedChannel",
+    "arbitration_clusters",
     "capture",
     "capture_abstract",
     "restore",
     "sequence_projection",
     "state_projection",
+    "topology_from_spec",
 ]

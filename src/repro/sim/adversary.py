@@ -51,9 +51,7 @@ def scramble_channels(
     injected = 0
     for src in sim.pids:
         src_host = sim.hosts[src]
-        for dst in sim.pids:
-            if dst == src:
-                continue
+        for dst in sim.network.peers_of(src):
             channel = sim.network.channel(src, dst)
             for layer in src_host.layers:
                 cap = channel.capacity_for(layer.tag)

@@ -107,9 +107,14 @@ class DropFirstK(LossModel):
         self._seen.clear()
 
 
-@dataclass
+@dataclass(eq=False)
 class _Entry:
-    """A message sitting in a channel."""
+    """A message sitting in a channel.
+
+    Identity semantics (``eq=False``): two entries are the same only if they
+    are the same in-flight occurrence — equal payloads admitted twice must
+    stay distinguishable for removal and membership tests.
+    """
 
     msg: TaggedMessage
     enqueued_at: int

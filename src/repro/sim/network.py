@@ -1,10 +1,16 @@
-"""Fully-connected network topology with local channel numbering.
+"""Topology-driven network: channels plus local channel numbering.
 
-The paper assumes a fully-connected topology where every process numbers its
-incident channels ``1 .. n-1`` (Section 2).  :class:`Network` owns one
-unidirectional channel per ordered process pair and provides the local
-numbering maps used by the protocols (ME's ``Value`` variable ranges over
-local channel numbers).
+Historically this module hardcoded the paper's fully-connected system
+(Section 2: every process numbers its incident channels ``1 .. n-1``).  It
+is now driven by a :class:`~repro.sim.topology.Topology`: :class:`Network`
+owns one unidirectional channel per *adjacent* ordered pair and exposes the
+local numbering maps the protocols consume (ME's ``Value`` variable ranges
+over local channel numbers ``1 .. deg(p)``).
+
+Channels are materialized lazily on first use — a wave touching only one
+neighbourhood allocates only those channels, which keeps large-n simulator
+construction O(n) instead of O(n^2).  Passing a plain pid sequence keeps the
+historical behaviour (a :class:`~repro.sim.topology.Complete` topology).
 """
 
 from __future__ import annotations
@@ -13,48 +19,39 @@ from typing import Callable, Iterable, Sequence
 
 from repro.errors import SimulationError
 from repro.sim.channel import BoundedChannel, ChannelBase, UnboundedChannel
+from repro.sim.topology import Complete, Topology
 
 __all__ = ["Network"]
 
 
 class Network:
-    """Channels and channel numbering for a fully-connected system."""
+    """Channels and channel numbering over a pluggable topology."""
 
     def __init__(
         self,
-        pids: Sequence[int],
+        topology: Topology | Sequence[int],
         channel_factory: Callable[[int, int], ChannelBase] | None = None,
     ) -> None:
-        if len(pids) < 2:
-            raise SimulationError(f"need at least 2 processes, got {len(pids)}")
-        if len(set(pids)) != len(pids):
-            raise SimulationError(f"duplicate process ids in {pids!r}")
-        self.pids: tuple[int, ...] = tuple(sorted(pids))
+        if not isinstance(topology, Topology):
+            topology = Complete(topology)
+        self.topology: Topology = topology
+        self.pids: tuple[int, ...] = topology.pids
         if channel_factory is None:
             channel_factory = lambda s, d: BoundedChannel(s, d, capacity=1)
+        self._channel_factory = channel_factory
         self._channels: dict[tuple[int, int], ChannelBase] = {}
-        for src in self.pids:
-            for dst in self.pids:
-                if src != dst:
-                    self._channels[(src, dst)] = channel_factory(src, dst)
-        # Local channel numbering: process p numbers its peers 1..n-1 in
-        # ascending id order.
-        self._peers: dict[int, tuple[int, ...]] = {
-            p: tuple(q for q in self.pids if q != p) for p in self.pids
-        }
-        self._chan_num: dict[int, dict[int, int]] = {
-            p: {q: i + 1 for i, q in enumerate(self._peers[p])} for p in self.pids
-        }
 
     # -- factories ---------------------------------------------------------
 
     @classmethod
-    def bounded(cls, pids: Sequence[int], capacity: int = 1) -> "Network":
-        return cls(pids, lambda s, d: BoundedChannel(s, d, capacity=capacity))
+    def bounded(
+        cls, topology: Topology | Sequence[int], capacity: int = 1
+    ) -> "Network":
+        return cls(topology, lambda s, d: BoundedChannel(s, d, capacity=capacity))
 
     @classmethod
-    def unbounded(cls, pids: Sequence[int]) -> "Network":
-        return cls(pids, UnboundedChannel)
+    def unbounded(cls, topology: Topology | Sequence[int]) -> "Network":
+        return cls(topology, UnboundedChannel)
 
     # -- topology ----------------------------------------------------------
 
@@ -63,45 +60,44 @@ class Network:
         return len(self.pids)
 
     def peers_of(self, pid: int) -> tuple[int, ...]:
-        """All other process ids, in local channel-number order."""
-        self._require(pid)
-        return self._peers[pid]
+        """Neighbour ids, in local channel-number order."""
+        return self.topology.neighbors(pid)
+
+    def degree(self, pid: int) -> int:
+        return self.topology.degree(pid)
 
     def chan_num(self, pid: int, peer: int) -> int:
-        """The local channel number (1..n-1) of ``peer`` at ``pid``."""
-        self._require(pid)
-        try:
-            return self._chan_num[pid][peer]
-        except KeyError:
-            raise SimulationError(f"{peer} is not a peer of {pid}") from None
+        """The local channel number (``1..deg(pid)``) of ``peer`` at ``pid``."""
+        return self.topology.chan_num(pid, peer)
 
     def peer_by_num(self, pid: int, num: int) -> int:
         """Inverse of :meth:`chan_num`."""
-        peers = self.peers_of(pid)
-        if not 1 <= num <= len(peers):
-            raise SimulationError(
-                f"channel number {num} out of range 1..{len(peers)} at {pid}"
-            )
-        return peers[num - 1]
+        return self.topology.peer_by_num(pid, num)
 
     # -- channels ----------------------------------------------------------
 
     def channel(self, src: int, dst: int) -> ChannelBase:
-        """The unidirectional channel from ``src`` to ``dst``."""
-        try:
-            return self._channels[(src, dst)]
-        except KeyError:
-            raise SimulationError(f"no channel {src}->{dst}") from None
+        """The unidirectional channel ``src -> dst`` (created on first use)."""
+        channel = self._channels.get((src, dst))
+        if channel is None:
+            if not self.topology.adjacent(src, dst):
+                raise SimulationError(f"no channel {src}->{dst}")
+            channel = self._channel_factory(src, dst)
+            self._channels[(src, dst)] = channel
+        return channel
 
     def channels(self) -> Iterable[ChannelBase]:
+        """Every channel materialized so far (others are empty by definition)."""
         return self._channels.values()
 
     def channels_of(self, pid: int) -> list[ChannelBase]:
         """Every channel from or to ``pid`` (Property 1 talks about these)."""
-        self._require(pid)
-        return [
-            c for (s, d), c in self._channels.items() if s == pid or d == pid
-        ]
+        result = []
+        for q in self.topology.neighbors(pid):
+            result.append(self.channel(pid, q))
+        for q in self.topology.neighbors(pid):
+            result.append(self.channel(q, pid))
+        return result
 
     def in_flight(self) -> int:
         """Total messages currently in transit anywhere."""
@@ -110,7 +106,3 @@ class Network:
     def clear_channels(self) -> int:
         """Empty every channel; returns the number of dropped messages."""
         return sum(len(c.clear()) for c in self._channels.values())
-
-    def _require(self, pid: int) -> None:
-        if pid not in self._chan_num:
-            raise SimulationError(f"unknown process id {pid}")

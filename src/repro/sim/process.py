@@ -70,7 +70,12 @@ class Layer(abc.ABC):
     # -- behaviour ---------------------------------------------------------
 
     def actions(self) -> Sequence[Action]:
-        """The guarded actions, in the paper's text order."""
+        """The guarded actions, in the paper's text order.
+
+        Called once, at registration: the host caches the flattened
+        guard/statement table, so the action set must be stable for the
+        layer's lifetime (every protocol here declares a fixed algorithm).
+        """
         return ()
 
     def on_message(self, sender: int, msg: "TaggedMessage") -> None:
@@ -111,6 +116,9 @@ class ProcessHost:
         self.pid = pid
         self.layers: list[Layer] = []
         self._by_tag: dict[str, Layer] = {}
+        # Flattened (guard, statement) table over all layers, cached at
+        # registration — rebuilding per activation dominated the hot loop.
+        self._action_table: list[tuple[Callable[[], bool], Callable[[], None]]] = []
         #: The process is busy (executing a durational critical section)
         #: until this tick; activations and deliveries wait.
         self.busy_until: int = -1
@@ -128,6 +136,9 @@ class ProcessHost:
         layer.attach(self)
         self.layers.append(layer)
         self._by_tag[layer.tag] = layer
+        self._action_table.extend(
+            (action.guard, action.statement) for action in layer.actions()
+        )
 
     def layer(self, tag: str) -> Layer:
         try:
@@ -142,12 +153,23 @@ class ProcessHost:
 
     @property
     def others(self) -> tuple[int, ...]:
-        """Peer ids in local channel-number order (channels 1..n-1)."""
+        """Neighbour ids in local channel-number order (channels 1..deg)."""
         return self.sim.network.peers_of(self.pid)
 
     @property
     def n(self) -> int:
+        """Total number of processes in the system (not the degree)."""
         return self.sim.network.n
+
+    @property
+    def degree(self) -> int:
+        """Number of incident channels (= n - 1 on the complete graph)."""
+        return self.sim.network.degree(self.pid)
+
+    @property
+    def topology_complete(self) -> bool:
+        """True iff the system topology is the paper's complete graph."""
+        return self.sim.network.topology.is_complete
 
     def chan_num(self, peer: int) -> int:
         return self.sim.network.chan_num(self.pid, peer)
@@ -182,7 +204,9 @@ class ProcessHost:
 
     @property
     def busy(self) -> bool:
-        return self.busy_until > self.now
+        # Reaches straight for the scheduler's clock: this predicate runs
+        # before every activation and every delivery.
+        return self.busy_until > self.sim.scheduler._now
 
     # -- execution ------------------------------------------------------------
 
@@ -194,11 +218,10 @@ class ProcessHost:
         never interleaves within an activation).
         """
         executed = 0
-        for layer in self.layers:
-            for action in layer.actions():
-                if action.guard():
-                    action.statement()
-                    executed += 1
+        for guard, statement in self._action_table:
+            if guard():
+                statement()
+                executed += 1
         return executed
 
     def dispatch(self, sender: int, msg: "TaggedMessage") -> None:

@@ -39,6 +39,7 @@ from repro.sim.network import Network
 from repro.sim.process import ProcessHost
 from repro.sim.scheduler import Scheduler
 from repro.sim.stats import SimStats
+from repro.sim.topology import Topology, topology_from_spec
 from repro.sim.trace import EventKind, Trace
 
 __all__ = ["Simulator"]
@@ -47,13 +48,22 @@ BuildFn = Callable[[ProcessHost], None]
 
 
 class Simulator:
-    """A deterministic, seeded message-passing system simulator."""
+    """A deterministic, seeded message-passing system simulator.
+
+    ``topology`` selects the communication graph: a
+    :class:`~repro.sim.topology.Topology` instance, a spec string accepted by
+    :func:`~repro.sim.topology.topology_from_spec` (``"ring"``,
+    ``"gnp:0.3"``, ...), or None for the paper's complete graph.  When a
+    Topology instance is given its pids define the system and ``pids`` may
+    be omitted (or must agree).
+    """
 
     def __init__(
         self,
-        pids: Sequence[int] | int,
-        build: BuildFn,
+        pids: Sequence[int] | int | None = None,
+        build: BuildFn = lambda host: None,
         *,
+        topology: Topology | str | None = None,
         seed: int = 0,
         capacity: int = 1,
         unbounded: bool = False,
@@ -67,6 +77,19 @@ class Simulator:
     ) -> None:
         if isinstance(pids, int):
             pids = list(range(1, pids + 1))
+        if isinstance(topology, str):
+            if pids is None:
+                raise SimulationError(
+                    f"topology spec {topology!r} needs an explicit process count"
+                )
+            topology = topology_from_spec(topology, len(pids), seed=seed)
+        if topology is None:
+            if pids is None:
+                raise SimulationError("need a process count, pid list, or topology")
+        elif pids is not None and tuple(sorted(pids)) != topology.pids:
+            raise SimulationError(
+                f"pids {sorted(pids)} do not match topology pids {topology.pids}"
+            )
         lo, hi = latency
         if not 1 <= lo <= hi:
             raise SimulationError(f"latency bounds must satisfy 1 <= lo <= hi, got {latency}")
@@ -74,10 +97,16 @@ class Simulator:
             raise SimulationError(f"activation_period must be >= 1, got {activation_period}")
 
         self.rng = random.Random(seed)
+        # Bound-method caches for the event hot path (one Random per sim,
+        # reused everywhere — including scramble — so runs stay deterministic).
+        self._randint = self.rng.randint
         self.scheduler = Scheduler()
         self.trace = Trace()
         self.stats = SimStats()
         self.loss: LossModel = loss if loss is not None else NoLoss()
+        # NoLoss draws no randomness, so skipping the call outright in
+        # transmit() is behaviour-preserving and saves a method call per send.
+        self._lossless = type(self.loss) is NoLoss
         #: Optional in-flight corruption model (see repro.sim.faults); must
         #: expose ``maybe_corrupt(rng, msg) -> msg``.
         self.corruption = corruption
@@ -89,12 +118,15 @@ class Simulator:
         self.capacity = capacity
         self.unbounded = unbounded
 
+        graph = topology if topology is not None else pids
+        assert graph is not None
         if unbounded:
-            self.network = Network(pids, UnboundedChannel)
+            self.network = Network(graph, UnboundedChannel)
         else:
             self.network = Network(
-                pids, lambda s, d: BoundedChannel(s, d, capacity=capacity)
+                graph, lambda s, d: BoundedChannel(s, d, capacity=capacity)
             )
+        self.topology: Topology = self.network.topology
 
         #: Observation hooks (recording, instrumentation). ``delivery_hooks``
         #: fire just before a message is dispatched to the receiving process;
@@ -113,13 +145,13 @@ class Simulator:
             # not lockstep-synchronized (asynchrony).
             for pid in self.network.pids:
                 offset = self.rng.randrange(activation_period) if activation_period > 1 else 0
-                self.scheduler.schedule_at(offset, self._make_activation(pid))
+                self.scheduler.post_at(offset, self._make_activation(pid))
 
     # -- basic accessors -----------------------------------------------------
 
     @property
     def now(self) -> int:
-        return self.scheduler.now
+        return self.scheduler._now
 
     @property
     def pids(self) -> tuple[int, ...]:
@@ -138,18 +170,20 @@ class Simulator:
 
     def transmit(self, src: int, dst: int, msg: TaggedMessage) -> bool:
         """Send ``msg`` from ``src`` to ``dst``; returns True if admitted."""
-        self.stats.record_send(msg.tag)
+        stats = self.stats
+        stats.sent += 1
+        stats.sent_by_tag[msg.tag] += 1
         if self.trace_network:
             self.trace.emit(self.now, EventKind.SEND, src, dst=dst, tag=msg.tag)
         if self.corruption is not None:
             msg = self.corruption.maybe_corrupt(self.rng, msg)
-        if self.loss.should_drop(self.rng, msg):
-            self.stats.dropped_loss += 1
+        if not self._lossless and self.loss.should_drop(self.rng, msg):
+            stats.dropped_loss += 1
             if self.trace_network:
                 self.trace.emit(self.now, EventKind.DROP_LOSS, src, dst=dst, tag=msg.tag)
             return False
         channel = self.network.channel(src, dst)
-        entry = channel.try_admit(msg, self.now)
+        entry = channel.try_admit(msg, self.scheduler._now)
         if entry is None:
             self.stats.dropped_full += 1
             if self.trace_network:
@@ -161,21 +195,21 @@ class Simulator:
 
     def _schedule_delivery(self, channel: ChannelBase, entry) -> None:
         lo, hi = self.latency
-        proposed = self.now + self.rng.randint(lo, hi)
+        proposed = self.scheduler._now + self._randint(lo, hi)
         entry.delivery_time = channel.fifo_delivery_time(entry.msg.tag, proposed)
-        self.scheduler.schedule_at(
+        self.scheduler.post_at(
             entry.delivery_time, lambda: self._deliver(channel, entry)
         )
 
     def _deliver(self, channel: ChannelBase, entry) -> None:
-        if entry not in channel.entries():
+        if entry not in channel._entries:
             return  # channel was cleared/restored under us
         host = self.hosts[channel.dst]
         if host.busy:
             # The receiver is inside a long atomic action; the message stays
             # in the channel (still occupying its slot) and delivery retries
             # when the process frees up.
-            self.scheduler.schedule_at(
+            self.scheduler.post_at(
                 host.busy_until, lambda: self._deliver(channel, entry)
             )
             return
@@ -208,19 +242,25 @@ class Simulator:
     # -- activations -----------------------------------------------------------
 
     def _make_activation(self, pid: int) -> Callable[[], None]:
+        # Everything the self-rescheduling loop touches is bound locally:
+        # activations fire every few ticks at every process forever, so this
+        # closure is one of the two hottest paths in the engine.
+        host = self.hosts[pid]
+        stats = self.stats
+        hooks = self.activation_hooks
+        randint = self._randint
+        post_in = self.scheduler.post_in
+        period = self.activation_period
+        jitter_max = self.activation_jitter
+
         def fire() -> None:
-            host = self.hosts[pid]
             if not host.busy:
-                self.stats.activations += 1
-                for hook in self.activation_hooks:
+                stats.activations += 1
+                for hook in hooks:
                     hook(pid)
                 host.activate()
-            jitter = (
-                self.rng.randint(0, self.activation_jitter)
-                if self.activation_jitter > 0
-                else 0
-            )
-            self.scheduler.schedule_in(self.activation_period + jitter, fire)
+            jitter = randint(0, jitter_max) if jitter_max > 0 else 0
+            post_in(period + jitter, fire)
 
         return fire
 

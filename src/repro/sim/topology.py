@@ -1,0 +1,491 @@
+"""Pluggable communication topologies.
+
+The paper (Section 2) assumes a *fully-connected* system where every process
+numbers its incident channels ``1 .. n-1``.  This module generalizes that
+assumption: a :class:`Topology` is an undirected connected graph over process
+ids together with the *local channel numbering* every protocol in this repo
+consumes (process ``p`` numbers its neighbours ``1 .. deg(p)`` in ascending
+id order — on the complete graph this degenerates to the paper's numbering).
+
+Provided families:
+
+* :class:`Complete` — the paper's model (every pair adjacent);
+* :class:`Ring` — a cycle in ascending id order;
+* :class:`Star` — one hub adjacent to every leaf;
+* :class:`Grid2D` — a rows × cols mesh (4-neighbourhood);
+* :class:`RandomGnp` — an Erdős–Rényi G(n, p) draw, augmented with
+  deterministic bridge edges when the draw is disconnected;
+* :class:`Clustered` — complete clusters joined by bridge edges (the shape
+  sharded deployments take).
+
+Protocol semantics on non-complete topologies: a PIF wave spans the
+initiator's *neighbourhood*, IDL learns the ids of the *closed
+neighbourhood*, and ME arbitrates mutual exclusion *per leader cluster*
+(see :func:`arbitration_clusters`); on the complete graph all three collapse
+to the paper's global guarantees.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Topology",
+    "Complete",
+    "Ring",
+    "Star",
+    "Grid2D",
+    "RandomGnp",
+    "Clustered",
+    "topology_from_spec",
+    "arbitration_clusters",
+    "TOPOLOGY_SPECS",
+]
+
+
+def _as_pids(pids_or_n: Sequence[int] | int) -> tuple[int, ...]:
+    if isinstance(pids_or_n, int):
+        pids: Sequence[int] = range(1, pids_or_n + 1)
+    else:
+        pids = pids_or_n
+    result = tuple(sorted(pids))
+    if len(result) < 2:
+        raise SimulationError(f"need at least 2 processes, got {len(result)}")
+    if len(set(result)) != len(result):
+        raise SimulationError(f"duplicate process ids in {list(pids)!r}")
+    return result
+
+
+class Topology(abc.ABC):
+    """An undirected connected graph plus local channel numbering."""
+
+    #: Short family name, e.g. ``"ring"``; set by subclasses.
+    kind: str = "topology"
+
+    def __init__(self, pids_or_n: Sequence[int] | int) -> None:
+        self.pids: tuple[int, ...] = _as_pids(pids_or_n)
+        direct = self._direct_neighbors(self.pids)
+        if direct is not None:
+            #: Neighbours in ascending id order — the local channel numbering
+            #: maps neighbour -> 1..deg(p) along this order.
+            self._neighbors: dict[int, tuple[int, ...]] = direct
+        else:
+            adjacency: dict[int, set[int]] = {p: set() for p in self.pids}
+            for u, v in self._edges(self.pids):
+                if u == v:
+                    raise SimulationError(f"self-loop at process {u}")
+                if u not in adjacency or v not in adjacency:
+                    raise SimulationError(f"edge ({u}, {v}) mentions unknown process")
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+            self._neighbors = {p: tuple(sorted(adjacency[p])) for p in self.pids}
+        # Local numbering maps are built lazily per process: protocols that
+        # never read channel numbers (PIF) skip the O(n^2) construction.
+        self._chan_num: dict[int, dict[int, int]] = {}
+        self._check_connected()
+        self._diameter: int | None = None
+        self._is_complete: bool | None = None
+
+    @abc.abstractmethod
+    def _edges(self, pids: tuple[int, ...]) -> Iterable[tuple[int, int]]:
+        """Undirected edges of the topology (each pair listed once)."""
+
+    def _direct_neighbors(
+        self, pids: tuple[int, ...]
+    ) -> dict[int, tuple[int, ...]] | None:
+        """Optional fast path: the full neighbour map, already sorted.
+
+        Subclasses with closed-form adjacency (the complete graph) override
+        this to skip the generic per-edge accumulation.
+        """
+        return None
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self.pids)
+
+    def neighbors(self, pid: int) -> tuple[int, ...]:
+        """Neighbours of ``pid`` in local channel-number order."""
+        self._require(pid)
+        return self._neighbors[pid]
+
+    def degree(self, pid: int) -> int:
+        self._require(pid)
+        return len(self._neighbors[pid])
+
+    def adjacent(self, src: int, dst: int) -> bool:
+        self._require(src)
+        return dst in self._neighbors[src]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Every undirected edge once, as ``(min, max)`` pairs."""
+        return [
+            (p, q)
+            for p in self.pids
+            for q in self._neighbors[p]
+            if p < q
+        ]
+
+    def directed_edges(self) -> list[tuple[int, int]]:
+        """Every ordered adjacent pair (one unidirectional channel each)."""
+        return [(p, q) for p in self.pids for q in self._neighbors[p]]
+
+    # -- local channel numbering ------------------------------------------
+
+    def _numbering(self, pid: int) -> dict[int, int]:
+        numbering = self._chan_num.get(pid)
+        if numbering is None:
+            numbering = {q: i + 1 for i, q in enumerate(self._neighbors[pid])}
+            self._chan_num[pid] = numbering
+        return numbering
+
+    def chan_num(self, pid: int, peer: int) -> int:
+        """The local channel number (``1..deg(pid)``) of ``peer`` at ``pid``."""
+        self._require(pid)
+        try:
+            return self._numbering(pid)[peer]
+        except KeyError:
+            raise SimulationError(f"{peer} is not a neighbour of {pid}") from None
+
+    def peer_by_num(self, pid: int, num: int) -> int:
+        """Inverse of :meth:`chan_num`."""
+        neighbors = self.neighbors(pid)
+        if not 1 <= num <= len(neighbors):
+            raise SimulationError(
+                f"channel number {num} out of range 1..{len(neighbors)} at {pid}"
+            )
+        return neighbors[num - 1]
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def is_complete(self) -> bool:
+        if self._is_complete is None:
+            n = self.n
+            self._is_complete = all(
+                len(self._neighbors[p]) == n - 1 for p in self.pids
+            )
+        return self._is_complete
+
+    @property
+    def max_degree(self) -> int:
+        return max(len(self._neighbors[p]) for p in self.pids)
+
+    @property
+    def min_degree(self) -> int:
+        return min(len(self._neighbors[p]) for p in self.pids)
+
+    def diameter(self) -> int:
+        """Longest shortest path (hops); computed once, then cached."""
+        if self._diameter is None:
+            self._diameter = max(
+                max(self._bfs_depths(p).values()) for p in self.pids
+            )
+        return self._diameter
+
+    def describe(self) -> dict[str, Any]:
+        """Flat metadata row (for tables and benchmark reports)."""
+        return {
+            "topology": self.name,
+            "n": self.n,
+            "edges": len(self.edges()),
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "diameter": self.diameter(),
+            "complete": self.is_complete,
+        }
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}({self.n})"
+
+    # -- helpers -----------------------------------------------------------
+
+    def _bfs_depths(self, start: int) -> dict[int, int]:
+        depths = {start: 0}
+        frontier = deque([start])
+        while frontier:
+            u = frontier.popleft()
+            for v in self._neighbors[u]:
+                if v not in depths:
+                    depths[v] = depths[u] + 1
+                    frontier.append(v)
+        return depths
+
+    def _check_connected(self) -> None:
+        reached = self._bfs_depths(self.pids[0])
+        if len(reached) != self.n:
+            missing = sorted(set(self.pids) - set(reached))
+            raise SimulationError(
+                f"{self.name} is not connected: {missing} unreachable from "
+                f"{self.pids[0]}"
+            )
+
+    def _require(self, pid: int) -> None:
+        if pid not in self._neighbors:
+            raise SimulationError(f"unknown process id {pid}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class Complete(Topology):
+    """The paper's fully-connected system."""
+
+    kind = "complete"
+
+    def _edges(self, pids: tuple[int, ...]) -> Iterable[tuple[int, int]]:
+        return (
+            (pids[i], pids[j])
+            for i in range(len(pids))
+            for j in range(i + 1, len(pids))
+        )
+
+    def _direct_neighbors(
+        self, pids: tuple[int, ...]
+    ) -> dict[int, tuple[int, ...]]:
+        return {p: tuple(q for q in pids if q != p) for p in pids}
+
+
+class Ring(Topology):
+    """A cycle in ascending id order (a single edge when n = 2)."""
+
+    kind = "ring"
+
+    def _edges(self, pids: tuple[int, ...]) -> Iterable[tuple[int, int]]:
+        n = len(pids)
+        edges = [(pids[i], pids[(i + 1) % n]) for i in range(n)]
+        if n == 2:
+            edges = edges[:1]
+        return edges
+
+
+class Star(Topology):
+    """One hub adjacent to every other process (default hub: lowest id)."""
+
+    kind = "star"
+
+    def __init__(self, pids_or_n: Sequence[int] | int, hub: int | None = None) -> None:
+        self._hub_arg = hub
+        super().__init__(pids_or_n)
+        self.hub = self._hub_arg if self._hub_arg is not None else self.pids[0]
+
+    def _edges(self, pids: tuple[int, ...]) -> Iterable[tuple[int, int]]:
+        hub = self._hub_arg if self._hub_arg is not None else pids[0]
+        if hub not in pids:
+            raise SimulationError(f"hub {hub} is not a process id")
+        return ((hub, q) for q in pids if q != hub)
+
+
+class Grid2D(Topology):
+    """A rows × cols mesh with 4-neighbourhood; pids assigned row-major."""
+
+    kind = "grid"
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1 or rows * cols < 2:
+            raise SimulationError(f"grid needs >= 2 cells, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        super().__init__(rows * cols)
+
+    def _edges(self, pids: tuple[int, ...]) -> Iterable[tuple[int, int]]:
+        rows, cols = self.rows, self.cols
+        for r in range(rows):
+            for c in range(cols):
+                pid = r * cols + c + 1
+                if c + 1 < cols:
+                    yield (pid, pid + 1)
+                if r + 1 < rows:
+                    yield (pid, pid + cols)
+
+    @property
+    def name(self) -> str:
+        return f"grid({self.rows}x{self.cols})"
+
+
+class RandomGnp(Topology):
+    """Erdős–Rényi G(n, p), made connected by deterministic bridge edges.
+
+    The draw is seeded and therefore reproducible.  When the sampled graph
+    is disconnected, consecutive components (ordered by smallest member) are
+    joined through their smallest members; :attr:`augmented_edges` counts the
+    bridges added this way.
+    """
+
+    kind = "gnp"
+
+    def __init__(self, pids_or_n: Sequence[int] | int, p: float = 0.35, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError(f"edge probability must be in [0, 1], got {p}")
+        self.p = p
+        self.seed = seed
+        self.augmented_edges = 0
+        super().__init__(pids_or_n)
+
+    def _edges(self, pids: tuple[int, ...]) -> Iterable[tuple[int, int]]:
+        import random
+
+        rng = random.Random(self.seed)
+        edges = [
+            (pids[i], pids[j])
+            for i in range(len(pids))
+            for j in range(i + 1, len(pids))
+            if rng.random() < self.p
+        ]
+        # Union-find over the sampled edges; bridge disconnected components.
+        parent = {p: p for p in pids}
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in edges:
+            parent[find(u)] = find(v)
+        components: dict[int, list[int]] = {}
+        for p in pids:
+            components.setdefault(find(p), []).append(p)
+        roots = sorted(components.values(), key=lambda c: c[0])
+        for prev, nxt in zip(roots, roots[1:]):
+            edges.append((prev[0], nxt[0]))
+            parent[find(prev[0])] = find(nxt[0])
+            self.augmented_edges += 1
+        return edges
+
+    @property
+    def name(self) -> str:
+        return f"gnp({self.n},p={self.p})"
+
+
+class Clustered(Topology):
+    """Complete clusters of equal size joined by a ring of bridge edges.
+
+    Cluster ``i`` holds pids ``i*size+1 .. (i+1)*size`` and is internally
+    fully connected; consecutive clusters are bridged through their lowest
+    members (with a wrap-around bridge when there are >= 3 clusters).  This
+    is the shape a sharded deployment takes: dense intra-shard traffic over
+    thin inter-shard links.
+    """
+
+    kind = "clustered"
+
+    def __init__(self, clusters: int, cluster_size: int) -> None:
+        if clusters < 2 or cluster_size < 1 or clusters * cluster_size < 2:
+            raise SimulationError(
+                f"need >= 2 clusters of >= 1 process, got {clusters}x{cluster_size}"
+            )
+        self.clusters = clusters
+        self.cluster_size = cluster_size
+        super().__init__(clusters * cluster_size)
+
+    def _edges(self, pids: tuple[int, ...]) -> Iterable[tuple[int, int]]:
+        size = self.cluster_size
+        members = [
+            [k * size + m + 1 for m in range(size)] for k in range(self.clusters)
+        ]
+        for group in members:
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    yield (group[i], group[j])
+        for k in range(self.clusters - 1):
+            yield (members[k][0], members[k + 1][0])
+        if self.clusters >= 3:
+            yield (members[-1][0], members[0][0])
+
+    def cluster_of(self, pid: int) -> int:
+        self._require(pid)
+        return (pid - 1) // self.cluster_size
+
+    @property
+    def name(self) -> str:
+        return f"clustered({self.clusters}x{self.cluster_size})"
+
+
+# -- spec strings (CLI / scenario matrix) ----------------------------------
+
+#: Accepted ``--topology`` spec strings (``name`` or ``name:arg``).
+TOPOLOGY_SPECS = (
+    "complete",
+    "ring",
+    "star",
+    "grid (or grid:RxC)",
+    "gnp:P (edge probability, default 0.35)",
+    "clustered:K (K clusters, n divisible by K)",
+)
+
+
+def _grid_shape(n: int) -> tuple[int, int]:
+    """Largest divisor of n that is <= sqrt(n) — the squarest grid."""
+    rows = 1
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            rows = d
+        d += 1
+    return rows, n // rows
+
+
+def topology_from_spec(spec: str, n: int, seed: int = 0) -> Topology:
+    """Build a topology from a CLI spec string like ``ring`` or ``gnp:0.3``."""
+    name, _, arg = spec.strip().lower().partition(":")
+    if name == "complete":
+        return Complete(n)
+    if name == "ring":
+        return Ring(n)
+    if name == "star":
+        return Star(n)
+    if name == "grid":
+        if arg:
+            try:
+                rows_s, _, cols_s = arg.partition("x")
+                rows, cols = int(rows_s), int(cols_s)
+            except ValueError:
+                raise SimulationError(f"bad grid spec {spec!r}; want grid:RxC") from None
+            if rows * cols != n:
+                raise SimulationError(f"grid {rows}x{cols} does not hold n={n} processes")
+        else:
+            rows, cols = _grid_shape(n)
+        return Grid2D(rows, cols)
+    if name == "gnp":
+        p = float(arg) if arg else 0.35
+        return RandomGnp(n, p=p, seed=seed)
+    if name == "clustered":
+        k = int(arg) if arg else 2
+        if n % k != 0:
+            raise SimulationError(f"n={n} is not divisible into {k} clusters")
+        return Clustered(k, n // k)
+    raise SimulationError(
+        f"unknown topology spec {spec!r}; one of: {', '.join(TOPOLOGY_SPECS)}"
+    )
+
+
+def arbitration_clusters(
+    topology: Topology, idents: Mapping[int, int] | None = None
+) -> dict[int, tuple[int, ...]]:
+    """Partition processes by their local leader (ME's arbitration unit).
+
+    Process ``p``'s leader is the process with the minimum identity in its
+    *closed* neighbourhood — exactly the ``minID`` its IDL instance learns.
+    Protocol ME guarantees mutual exclusion among processes that share a
+    leader; on the complete graph there is a single leader (the global
+    minimum), recovering the paper's global guarantee.  Returns
+    ``leader pid -> processes arbitrated by it`` (a partition of the pids).
+    """
+    ids = dict(idents) if idents is not None else {p: p for p in topology.pids}
+    clusters: dict[int, tuple[int, ...]] = {}
+    by_leader: dict[int, list[int]] = {}
+    for p in topology.pids:
+        closed = (p,) + topology.neighbors(p)
+        leader = min(closed, key=lambda q: ids[q])
+        by_leader.setdefault(leader, []).append(p)
+    for leader, members in by_leader.items():
+        clusters[leader] = tuple(sorted(members))
+    return clusters

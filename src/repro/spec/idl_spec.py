@@ -8,7 +8,7 @@ Specification 1.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.sim.trace import EventKind, Trace
 from repro.spec.base import SpecVerdict
@@ -23,6 +23,7 @@ def check_idl(
     idents: Mapping[int, int],
     *,
     final_requests: Mapping[int, RequestState] | None = None,
+    neighborhoods: Mapping[int, Sequence[int]] | None = None,
 ) -> SpecVerdict:
     """Check Specification 2 for the IDL instance ``tag``.
 
@@ -30,6 +31,12 @@ def check_idl(
     START with the next DECIDE at the same process and validates the decision
     payload (``min_id`` and ``id_tab`` recorded in the decide event) against
     the ground truth.
+
+    ``neighborhoods`` (pid -> neighbour ids) scopes the ground truth to what
+    an IDL wave can reach on a non-complete topology: the decided ``min_id``
+    must be the *closed neighbourhood* minimum and ``id_tab`` must cover
+    exactly the neighbours.  Without it the paper's complete-graph reading
+    applies (global minimum, every other process tabulated).
     """
     verdict = SpecVerdict(spec=f"IDL[{tag}]")
     true_min = min(idents.values())
@@ -53,20 +60,26 @@ def check_idl(
             computations += 1
             min_id = event.get("min_id")
             id_tab = event.get("id_tab") or {}
-            if min_id != true_min:
+            if neighborhoods is not None:
+                peers = tuple(neighborhoods[pid])
+                expected_min = min(
+                    idents[pid], min(idents[q] for q in peers)
+                )
+            else:
+                peers = tuple(q for q in idents if q != pid)
+                expected_min = true_min
+            if min_id != expected_min:
                 verdict.add(
                     "Correctness",
-                    f"decided min_id={min_id!r}, true minimum is {true_min}",
+                    f"decided min_id={min_id!r}, true minimum is {expected_min}",
                     time=event.time,
                     process=pid,
                 )
-            for q, ident in idents.items():
-                if q == pid:
-                    continue
-                if id_tab.get(q) != ident:
+            for q in peers:
+                if id_tab.get(q) != idents[q]:
                     verdict.add(
                         "Correctness",
-                        f"ID-Tab[{q}]={id_tab.get(q)!r}, true identity is {ident}",
+                        f"ID-Tab[{q}]={id_tab.get(q)!r}, true identity is {idents[q]}",
                         time=event.time,
                         process=pid,
                     )

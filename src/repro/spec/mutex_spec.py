@@ -17,6 +17,7 @@ one requested interval.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Collection, Sequence
 
 from repro.sim.trace import EventKind, Trace
 from repro.spec.base import SpecVerdict
@@ -69,23 +70,43 @@ def check_mutex(
     *,
     horizon: int,
     require_all_served: bool = True,
+    clusters: "Sequence[Collection[int]] | None" = None,
 ) -> SpecVerdict:
     """Check Specification 3 for the ME instance ``tag``.
 
     ``horizon`` is the end-of-run time (used to close still-open intervals).
     With ``require_all_served`` every REQUEST must be followed by a DECIDE
     (the request was serviced) before the end of the trace.
+
+    ``clusters`` generalizes Correctness to non-complete topologies: ME
+    arbitrates per *leader cluster* (processes sharing the same closed-
+    neighbourhood-minimum leader — see
+    :func:`repro.sim.topology.arbitration_clusters`), so an overlap is a
+    violation only between processes of a common cluster.  Without it every
+    pair conflicts — the paper's complete graph, where the single global
+    leader forms one cluster.
     """
     verdict = SpecVerdict(spec=f"ME[{tag}]")
     intervals = cs_intervals(trace, tag)
     verdict.info["cs_count"] = len(intervals)
     verdict.info["requested_cs_count"] = sum(1 for i in intervals if i.requested)
+    conflict: Callable[[int, int], bool]
+    if clusters is None:
+        conflict = lambda p, q: True
+    else:
+        cluster_sets = [frozenset(c) for c in clusters]
+        conflict = lambda p, q: any(p in c and q in c for c in cluster_sets)
 
-    # Correctness: a requested interval overlaps nothing.
+    # Correctness: a requested interval overlaps nothing it conflicts with.
     for i in range(len(intervals)):
         for j in range(i + 1, len(intervals)):
             a, b = intervals[i], intervals[j]
-            if a.pid != b.pid and (a.requested or b.requested) and a.overlaps(b, horizon):
+            if (
+                a.pid != b.pid
+                and (a.requested or b.requested)
+                and conflict(a.pid, b.pid)
+                and a.overlaps(b, horizon)
+            ):
                 verdict.add(
                     "Correctness",
                     f"critical sections overlap: p{a.pid} [{a.enter}, {a.exit}] "

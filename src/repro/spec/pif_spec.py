@@ -16,7 +16,7 @@ An execution satisfies the PIF specification iff:
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.sim.trace import EventKind, Trace
 from repro.spec.base import SpecVerdict
@@ -33,6 +33,7 @@ def check_pif(
     *,
     final_requests: Mapping[int, RequestState] | None = None,
     require_all_decided: bool = True,
+    neighbors: Mapping[int, Sequence[int]] | None = None,
 ) -> SpecVerdict:
     """Check Specification 1 for the PIF instance ``tag``.
 
@@ -41,6 +42,11 @@ def check_pif(
     run, nobody may still be ``In``.  ``require_all_decided`` additionally
     demands every *started* wave decided before the end of the trace — turn
     it off when analysing deliberately truncated runs.
+
+    ``neighbors`` (pid -> neighbour ids) scopes Correctness and Decision to
+    each initiator's neighbourhood — the wave's reach on a non-complete
+    topology.  Without it, every other process is expected to hear the
+    broadcast (the paper's complete-graph reading).
     """
     pids = tuple(pids)
     verdict = SpecVerdict(spec=f"PIF[{tag}]")
@@ -52,8 +58,12 @@ def check_pif(
     _check_termination(waves, final_requests, require_all_decided, verdict)
     for wave in waves:
         if wave.decided:
-            _check_correctness(wave, pids, verdict)
-            _check_decision(wave, pids, verdict)
+            if neighbors is not None:
+                others = tuple(neighbors[wave.pid])
+            else:
+                others = tuple(q for q in pids if q != wave.pid)
+            _check_correctness(wave, others, verdict)
+            _check_decision(wave, others, verdict)
     return verdict
 
 
@@ -102,9 +112,8 @@ def _check_termination(
                 )
 
 
-def _check_correctness(wave: Wave, pids: tuple[int, ...], verdict: SpecVerdict) -> None:
-    """Every other process got the broadcast; the initiator got every ack."""
-    others = [q for q in pids if q != wave.pid]
+def _check_correctness(wave: Wave, others: tuple[int, ...], verdict: SpecVerdict) -> None:
+    """Every reachable process got the broadcast; the initiator every ack."""
     for q in others:
         brds = [
             e
@@ -142,9 +151,8 @@ def _check_correctness(wave: Wave, pids: tuple[int, ...], verdict: SpecVerdict) 
             )
 
 
-def _check_decision(wave: Wave, pids: tuple[int, ...], verdict: SpecVerdict) -> None:
+def _check_decision(wave: Wave, others: tuple[int, ...], verdict: SpecVerdict) -> None:
     """Exactly one acknowledgment per peer, all within the wave's window."""
-    others = [q for q in pids if q != wave.pid]
     for q in others:
         fcks = wave.fck_events.get(q, [])
         if len(fcks) > 1:

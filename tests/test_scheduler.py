@@ -86,6 +86,101 @@ class TestCancellation:
         assert sched.pending_count == 1
 
 
+class TestCompaction:
+    def test_cancelled_entries_are_compacted_away(self):
+        # Regression: lazy deletion used to keep every cancelled entry in
+        # the heap until its tick was popped, growing the queue unboundedly.
+        sched = Scheduler()
+        handles = [sched.schedule_at(10**6 + i, lambda: None) for i in range(500)]
+        sched.schedule_at(1, lambda: None)
+        for h in handles:
+            h.cancel()
+        assert len(sched) < 300  # cancelled bulk was dropped eagerly
+        assert sched.pending_count == 1
+
+    def test_pending_count_is_exact_after_interleaved_cancels(self):
+        sched = Scheduler()
+        keep = [sched.schedule_at(5 + i, lambda: None) for i in range(10)]
+        drop = [sched.schedule_at(50 + i, lambda: None) for i in range(200)]
+        for h in drop:
+            h.cancel()
+        for h in drop:
+            h.cancel()  # double-cancel must not double-count
+        assert sched.pending_count == 10
+        sched.run_until(100)
+        assert sched.pending_count == 0
+        assert all(h.fired for h in keep)
+
+    def test_compaction_preserves_execution_order(self):
+        # The same workload with and without a compaction-triggering cancel
+        # burst must run surviving events in the same order.
+        def run(with_burst: bool) -> list[int]:
+            sched = Scheduler()
+            seen: list[int] = []
+            for t in range(1, 40):
+                sched.schedule_at(t * 3, lambda t=t: seen.append(t))
+            burst = [sched.schedule_at(500 + i, lambda: None) for i in range(300)]
+            if with_burst:
+                for h in burst:
+                    h.cancel()
+            sched.run_until(200)
+            return seen
+
+        assert run(True) == run(False)
+
+    def test_compaction_mid_run_does_not_double_execute(self):
+        # Regression: _compact() once rebound self._queue to a new list
+        # while run_until iterated a local alias, so events surviving a
+        # mid-callback cancel burst ran twice across run_until calls.
+        sched = Scheduler()
+        seen: list[int] = []
+        burst = [sched.schedule_at(1000 + i, lambda: None) for i in range(200)]
+
+        def cancel_burst():
+            seen.append(0)
+            for h in burst:
+                h.cancel()  # triggers compaction while run_until is looping
+
+        sched.schedule_at(1, cancel_burst)
+        for t in (2, 3, 4):
+            sched.schedule_at(t, lambda t=t: seen.append(t))
+        sched.run_until(10)
+        sched.run_until(20)
+        assert seen == [0, 2, 3, 4]
+        assert sched.pending_count == 0
+
+    def test_events_scheduled_after_mid_run_compaction_still_run(self):
+        sched = Scheduler()
+        seen: list[str] = []
+        burst = [sched.schedule_at(500 + i, lambda: None) for i in range(200)]
+
+        def cancel_then_schedule():
+            for h in burst:
+                h.cancel()
+            sched.schedule_in(1, lambda: seen.append("late"))
+
+        sched.schedule_at(1, cancel_then_schedule)
+        sched.run_until(10)
+        assert seen == ["late"]
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sched = Scheduler()
+        h = sched.schedule_at(1, lambda: None)
+        sched.schedule_at(2, lambda: None)
+        sched.run_until(1)
+        h.cancel()  # already fired: must not decrement pending bookkeeping
+        assert sched.pending_count == 1
+
+    def test_post_events_run_in_seq_order_with_handles(self):
+        sched = Scheduler()
+        seen: list[str] = []
+        sched.schedule_at(5, lambda: seen.append("handle"))
+        sched.post_at(5, lambda: seen.append("post"))
+        sched.post_in(5, lambda: seen.append("post-in"))
+        sched.run_until(10)
+        assert seen == ["handle", "post", "post-in"]
+
+
 class TestRunUntil:
     def test_does_not_run_past_horizon(self):
         sched = Scheduler()
