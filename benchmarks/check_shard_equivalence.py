@@ -1,0 +1,94 @@
+"""CI gate: prove the sharded engine equals the serial engine, per push.
+
+Runs E3 (PIF) and E5 (ME) at n = 32 on the Complete and Clustered
+topologies with ``engine=serial`` and ``engine=sharded`` and fails on any
+divergence in the trace-derived metrics (verdict, violation count, waves,
+CS count, message totals, request latencies, final time, ...).  On top of
+the metric comparison it re-executes one PIF case and compares the raw
+traces event for event — the tentpole's bit-identity proof obligation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_shard_equivalence.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.runner import execute_trial, run_mutex_trial, run_pif_trial
+from repro.core.pif import PifLayer
+
+N = 32
+
+CASES = [
+    ("E3 pif  complete   n=32", run_pif_trial,
+     dict(topology=None, seed=0, loss=0.1, requests_per_process=1), dict(shards=4)),
+    ("E3 pif  clustered  n=32", run_pif_trial,
+     dict(topology="clustered:4", seed=0, loss=0.1, requests_per_process=1), dict()),
+    ("E5 me   complete   n=32", run_mutex_trial,
+     dict(topology=None, seed=0, loss=0.0, requests_per_process=1), dict(shards=4)),
+    ("E5 me   clustered  n=32", run_mutex_trial,
+     dict(topology="clustered:4", seed=0, loss=0.0, requests_per_process=1), dict()),
+]
+
+
+def check_metrics() -> bool:
+    ok = True
+    for name, runner, kwargs, shard_kwargs in CASES:
+        t0 = time.perf_counter()
+        serial = runner(N, engine="serial", **kwargs)
+        t1 = time.perf_counter()
+        sharded = runner(N, engine="sharded", **shard_kwargs, **kwargs)
+        t2 = time.perf_counter()
+        same = (
+            serial.ok == sharded.ok
+            and serial.violations == sharded.violations
+            and serial.measurements == sharded.measurements
+        )
+        ok &= same
+        verdict = "OK " if same else "DIVERGED"
+        print(f"{verdict} {name}  serial={t1 - t0:.1f}s sharded={t2 - t1:.1f}s "
+              f"metrics={serial.measurements}")
+        if not same:
+            print(f"     serial : ok={serial.ok} violations={serial.violations} "
+                  f"{serial.measurements}")
+            print(f"     sharded: ok={sharded.ok} violations={sharded.violations} "
+                  f"{sharded.measurements}")
+    return ok
+
+
+def check_bit_identity() -> bool:
+    driver = dict(tag="pif", requests_per_process=1,
+                  payload=lambda pid, k: f"m-{pid}-{k}")
+    runs = {}
+    for engine in ("serial", "sharded"):
+        runs[engine] = execute_trial(
+            N, lambda h: h.register(PifLayer("pif")),
+            topology="clustered:4", seed=0, loss=0.1,
+            driver=driver, horizon=2_000_000, engine=engine,
+        )
+    serial_events = [(e.time, e.kind, e.process, e.data)
+                     for e in runs["serial"].trace]
+    sharded_events = [(e.time, e.kind, e.process, e.data)
+                      for e in runs["sharded"].trace]
+    same = (
+        serial_events == sharded_events
+        and runs["serial"].stats.as_dict() == runs["sharded"].stats.as_dict()
+        and runs["serial"].final_time == runs["sharded"].final_time
+    )
+    print(("OK " if same else "DIVERGED")
+          + f" bit-identity clustered n=32 ({len(serial_events)} trace events)")
+    return same
+
+
+def main() -> int:
+    ok = check_metrics()
+    ok &= check_bit_identity()
+    print("shard-equivalence:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

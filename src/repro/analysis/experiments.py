@@ -264,6 +264,10 @@ def run_topology_matrix(
     losses: list[float] | None = None,
     seeds: list[int] | None = None,
     protocol: str = "pif",
+    engine: str = "serial",
+    shards: int | None = None,
+    window: int | None = None,
+    latency: tuple[int, int] = (1, 3),
 ) -> list[dict[str, Any]]:
     """E11: the topology × fault scenario matrix.
 
@@ -271,6 +275,8 @@ def run_topology_matrix(
     spec and loss rate, checking the topology-generalized specification,
     and returns one aggregate row per scenario.  This is the sweep the
     ``--topology`` axis exists for: every cell must report zero violations.
+    ``engine`` selects the execution backend (``serial``/``sharded``); both
+    produce identical rows for the same seeds.
     """
     from repro.analysis.runner import run_mutex_trial, run_pif_trial
     from repro.sim.topology import topology_from_spec
@@ -283,6 +289,7 @@ def run_topology_matrix(
         seeds = [0, 1, 2]
     if protocol not in ("pif", "mutex"):
         raise SimulationError(f"unknown matrix protocol {protocol!r}")
+    runner = run_pif_trial if protocol == "pif" else run_mutex_trial
     rows: list[dict[str, Any]] = []
     for spec in topologies:
         # One graph instance per scenario: a seeded random family (gnp)
@@ -296,16 +303,11 @@ def run_topology_matrix(
             messages = 0
             final_time = 0
             for seed in seeds:
-                if protocol == "pif":
-                    trial = run_pif_trial(
-                        n, seed=seed, loss=loss, topology=top,
-                        requests_per_process=1,
-                    )
-                else:
-                    trial = run_mutex_trial(
-                        n, seed=seed, loss=loss, topology=top,
-                        requests_per_process=1,
-                    )
+                trial = runner(
+                    n, seed=seed, loss=loss, topology=top,
+                    requests_per_process=1, latency=latency,
+                    engine=engine, shards=shards, window=window,
+                )
                 ok += 1 if trial.ok else 0
                 violations += trial.violations
                 messages += trial.measurements["messages"]
@@ -313,6 +315,7 @@ def run_topology_matrix(
             rows.append(
                 {
                     "topology": meta["topology"],
+                    "engine": engine,
                     "diameter": meta["diameter"],
                     "max_degree": meta["max_degree"],
                     "loss": loss,

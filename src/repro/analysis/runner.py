@@ -4,29 +4,43 @@ Each trial builds a fresh seeded simulator, optionally scrambles it into an
 arbitrary initial configuration, drives requests, runs to completion, checks
 the relevant specification, and returns a flat result dict ready for table
 rendering (experiments E3, E4, E5, E7 of DESIGN.md).
+
+Every trial accepts an ``engine`` axis: ``"serial"`` (one in-process
+scheduler) or ``"sharded"`` (:class:`repro.sim.sharded.ShardedSimulator` —
+the topology partitioned across worker processes under the conservative
+time-window protocol).  Both engines execute the *same* trial shape — build,
+scramble, drive requests until served, drain ``DRAIN_TICKS`` — and produce
+bit-identical traces for the same seed, so every specification check and
+measurement below is engine-agnostic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.idl import IdlLayer
 from repro.core.mutex import MutexLayer
 from repro.core.pif import PifLayer
-from repro.core.requests import RequestDriver
+from repro.core.requests import CompletedRequest, RequestDriver
 from repro.errors import SimulationError
 from repro.sim.channel import BernoulliLoss, NoLoss
 from repro.sim.runtime import Simulator
+from repro.sim.sharded import ShardedSimulator
+from repro.sim.stats import SimStats
 from repro.sim.topology import Topology, arbitration_clusters, topology_from_spec
+from repro.sim.trace import Trace
 from repro.spec.idl_spec import check_idl
 from repro.spec.mutex_spec import check_mutex
 from repro.spec.pif_spec import check_pif
 from repro.spec.waves import extract_waves
 from repro.analysis.metrics import summarize
+from repro.types import RequestState
 
 __all__ = [
     "TrialResult",
+    "EngineRun",
+    "execute_trial",
     "run_pif_trial",
     "run_idl_trial",
     "run_mutex_trial",
@@ -34,6 +48,13 @@ __all__ = [
     "sweep_mutex",
     "pif_scaling_row",
 ]
+
+#: Ticks every trial runs past the driver's completion, so residual
+#: (never-started) computations drain and — crucially — both engines stop on
+#: the same full tick (the sharded engine detects completion at a window
+#: barrier, which can overshoot the completion tick by up to one window).
+DRAIN_TICKS = 200
+
 
 def _resolve_topology(
     n: int, topology: Topology | str | None, seed: int
@@ -44,12 +65,12 @@ def _resolve_topology(
     return topology
 
 
-def _neighbor_map(sim: Simulator) -> dict[int, tuple[int, ...]] | None:
+def _neighbor_map(run: "EngineRun") -> dict[int, tuple[int, ...]] | None:
     """Per-pid neighbour sets for spec checks; None on the complete graph
     (keeps the paper's original global reading in reports)."""
-    if sim.topology.is_complete:
+    if run.topology.is_complete:
         return None
-    return {p: sim.network.peers_of(p) for p in sim.pids}
+    return {p: run.topology.neighbors(p) for p in run.pids}
 
 
 @dataclass
@@ -67,8 +88,109 @@ class TrialResult:
         return [merged.get(k) for k in keys]
 
 
+@dataclass
+class EngineRun:
+    """Engine-agnostic outcome of one driven run (either engine)."""
+
+    trace: Trace
+    stats: SimStats
+    #: Driver-tag request state per pid at the final horizon.
+    finals: dict[int, RequestState]
+    completions: list[CompletedRequest]
+    completed: bool
+    final_time: int
+    topology: Topology
+    pids: tuple[int, ...]
+
+    def latencies(self) -> list[int]:
+        return [c.latency for c in self.completions]
+
+
 def _loss_model(loss: float):
     return BernoulliLoss(loss) if loss > 0 else NoLoss()
+
+
+def execute_trial(
+    n: int,
+    build: Callable,
+    *,
+    topology: Topology | str | None = None,
+    seed: int = 0,
+    loss: float = 0.0,
+    capacity: int = 1,
+    latency: tuple[int, int] = (1, 3),
+    scramble: bool = True,
+    driver: dict[str, Any],
+    horizon: int,
+    engine: str = "serial",
+    shards: int | None = None,
+    window: int | None = None,
+) -> EngineRun:
+    """Run one driven trial on the selected engine.
+
+    The shape is identical on both engines: build the system, scramble it
+    into an arbitrary initial configuration, let the request driver issue
+    and await every request (up to ``horizon``), then drain
+    :data:`DRAIN_TICKS` more ticks.  For the same arguments the two engines
+    return bit-identical traces, stats, finals and completions.
+    """
+    top = _resolve_topology(n, topology, seed)
+    scramble_seed = seed ^ 0x5EED
+    tag = driver["tag"]
+    if engine == "serial":
+        sim = Simulator(
+            n if top is None else None,
+            build,
+            topology=top,
+            seed=seed,
+            loss=_loss_model(loss),
+            capacity=capacity,
+            latency=latency,
+        )
+        if scramble:
+            sim.scramble(seed=scramble_seed)
+        drv = RequestDriver(sim, **driver)
+        completed = sim.run(horizon, until=lambda s: drv.done)
+        sim.run(sim.now + DRAIN_TICKS)
+        return EngineRun(
+            trace=sim.trace,
+            stats=sim.stats,
+            finals={p: sim.layer(p, tag).request for p in sim.pids},
+            completions=drv.completed(),
+            completed=completed,
+            final_time=sim.now,
+            topology=sim.topology,
+            pids=sim.pids,
+        )
+    if engine == "sharded":
+        sharded = ShardedSimulator(
+            n if top is None else None,
+            build,
+            topology=top,
+            seed=seed,
+            shards=shards,
+            window=window,
+            loss=_loss_model(loss),
+            capacity=capacity,
+            latency=latency,
+        )
+        result = sharded.run_trial(
+            horizon=horizon,
+            scramble_seed=scramble_seed if scramble else None,
+            driver=driver,
+            drain=DRAIN_TICKS,
+        )
+        return EngineRun(
+            trace=result.trace,
+            stats=result.stats,
+            finals=result.finals,
+            completions=result.completions,
+            completed=result.completed,
+            final_time=result.final_time,
+            topology=sharded.topology,
+            pids=sharded.pids,
+        )
+    raise SimulationError(f"unknown engine {engine!r}; expected serial or sharded")
 
 
 def run_pif_trial(
@@ -82,48 +204,53 @@ def run_pif_trial(
     max_state: int | None = None,
     topology: Topology | str | None = None,
     horizon: int = 2_000_000,
+    latency: tuple[int, int] = (1, 3),
+    engine: str = "serial",
+    shards: int | None = None,
+    window: int | None = None,
 ) -> TrialResult:
     """One PIF trial (E3): all processes broadcast; Specification 1 checked."""
     if max_state is None:
         max_state = capacity + 3
-    top = _resolve_topology(n, topology, seed)
-    sim = Simulator(
-        n if top is None else None,
+    run = execute_trial(
+        n,
         lambda h: h.register(PifLayer("pif", max_state=max_state)),
-        topology=top,
+        topology=topology,
         seed=seed,
-        loss=_loss_model(loss),
+        loss=loss,
         capacity=capacity,
+        latency=latency,
+        scramble=scramble,
+        driver=dict(
+            tag="pif",
+            requests_per_process=requests_per_process,
+            payload=lambda pid, k: f"msg-{pid}-{k}",
+        ),
+        horizon=horizon,
+        engine=engine,
+        shards=shards,
+        window=window,
     )
-    if scramble:
-        sim.scramble(seed=seed ^ 0x5EED)
-    driver = RequestDriver(
-        sim, "pif", requests_per_process=requests_per_process,
-        payload=lambda pid, k: f"msg-{pid}-{k}",
-    )
-    completed = sim.run(horizon, until=lambda s: driver.done)
-    if not completed:
+    if not run.completed:
         raise SimulationError(f"PIF trial did not finish within t={horizon}")
-    sim.run(sim.now + 200)  # drain never-started computations
-    finals = {p: sim.layer(p, "pif").request for p in sim.pids}
     verdict = check_pif(
-        sim.trace, "pif", sim.pids, final_requests=finals,
-        neighbors=_neighbor_map(sim),
+        run.trace, "pif", run.pids, final_requests=run.finals,
+        neighbors=_neighbor_map(run),
     )
-    waves = [w for w in extract_waves(sim.trace, "pif") if w.decided]
+    waves = [w for w in extract_waves(run.trace, "pif") if w.decided]
     durations = [w.duration for w in waves if w.duration is not None]
     return TrialResult(
         params={"n": n, "seed": seed, "loss": loss, "capacity": capacity,
-                "topology": sim.topology.name},
+                "topology": run.topology.name, "engine": engine},
         ok=verdict.ok,
         violations=len(verdict.violations),
         measurements={
             "waves": len(waves),
-            "messages": sim.stats.sent,
-            "msg_per_wave": round(sim.stats.sent / max(1, len(waves)), 1),
+            "messages": run.stats.sent,
+            "msg_per_wave": round(run.stats.sent / max(1, len(waves)), 1),
             "wave_p50": summarize(durations).p50 if durations else 0,
             "wave_p95": summarize(durations).p95 if durations else 0,
-            "final_time": sim.now,
+            "final_time": run.final_time,
         },
     )
 
@@ -138,6 +265,10 @@ def run_idl_trial(
     idents: dict[int, int] | None = None,
     topology: Topology | str | None = None,
     horizon: int = 2_000_000,
+    latency: tuple[int, int] = (1, 3),
+    engine: str = "serial",
+    shards: int | None = None,
+    window: int | None = None,
 ) -> TrialResult:
     """One IDL trial (E4): Specification 2 checked against ground truth."""
 
@@ -145,35 +276,38 @@ def run_idl_trial(
         ident = idents[host.pid] if idents else None
         host.register(IdlLayer("idl", ident=ident))
 
-    top = _resolve_topology(n, topology, seed)
-    sim = Simulator(
-        n if top is None else None, build, topology=top, seed=seed,
-        loss=_loss_model(loss),
+    run = execute_trial(
+        n,
+        build,
+        topology=topology,
+        seed=seed,
+        loss=loss,
+        latency=latency,
+        scramble=scramble,
+        driver=dict(tag="idl", requests_per_process=requests_per_process),
+        horizon=horizon,
+        engine=engine,
+        shards=shards,
+        window=window,
     )
-    truth = {p: (idents[p] if idents else p) for p in sim.pids}
-    if scramble:
-        sim.scramble(seed=seed ^ 0x5EED)
-    driver = RequestDriver(sim, "idl", requests_per_process=requests_per_process)
-    completed = sim.run(horizon, until=lambda s: driver.done)
-    if not completed:
+    if not run.completed:
         raise SimulationError(f"IDL trial did not finish within t={horizon}")
-    sim.run(sim.now + 200)
-    finals = {p: sim.layer(p, "idl").request for p in sim.pids}
+    truth = {p: (idents[p] if idents else p) for p in run.pids}
     verdict = check_idl(
-        sim.trace, "idl", truth, final_requests=finals,
-        neighborhoods=_neighbor_map(sim),
+        run.trace, "idl", truth, final_requests=run.finals,
+        neighborhoods=_neighbor_map(run),
     )
-    latencies = driver.latencies()
+    latencies = run.latencies()
     return TrialResult(
         params={"n": n, "seed": seed, "loss": loss,
-                "topology": sim.topology.name},
+                "topology": run.topology.name, "engine": engine},
         ok=verdict.ok,
         violations=len(verdict.violations),
         measurements={
             "computations": verdict.info.get("computations", 0),
-            "messages": sim.stats.sent,
+            "messages": run.stats.sent,
             "latency_p50": summarize(latencies).p50 if latencies else 0,
-            "final_time": sim.now,
+            "final_time": run.final_time,
         },
     )
 
@@ -190,53 +324,59 @@ def run_mutex_trial(
     topology: Topology | str | None = None,
     horizon: int = 6_000_000,
     require_completion: bool = True,
+    latency: tuple[int, int] = (1, 3),
+    engine: str = "serial",
+    shards: int | None = None,
+    window: int | None = None,
 ) -> TrialResult:
     """One ME trial (E5): Specification 3 checked over the full trace.
 
     On a non-complete topology the Correctness check runs per leader
     cluster (the generalized guarantee — see :mod:`repro.core.mutex`).
     """
-    top = _resolve_topology(n, topology, seed)
-    sim = Simulator(
-        n if top is None else None,
+    run = execute_trial(
+        n,
         lambda h: h.register(
             MutexLayer("me", cs_duration=cs_duration,
                        use_paper_modulus=use_paper_modulus)
         ),
-        topology=top,
+        topology=topology,
         seed=seed,
-        loss=_loss_model(loss),
+        loss=loss,
+        latency=latency,
+        scramble=scramble,
+        driver=dict(tag="me", requests_per_process=requests_per_process),
+        horizon=horizon,
+        engine=engine,
+        shards=shards,
+        window=window,
     )
-    if scramble:
-        sim.scramble(seed=seed ^ 0x5EED)
-    driver = RequestDriver(sim, "me", requests_per_process=requests_per_process)
-    completed = sim.run(horizon, until=lambda s: driver.done)
-    if require_completion and not completed:
+    if require_completion and not run.completed:
         raise SimulationError(f"ME trial did not finish within t={horizon}")
     clusters = (
         None
-        if sim.topology.is_complete
-        else list(arbitration_clusters(sim.topology).values())
+        if run.topology.is_complete
+        else list(arbitration_clusters(run.topology).values())
     )
     verdict = check_mutex(
-        sim.trace, "me", horizon=sim.now, require_all_served=completed,
-        clusters=clusters,
+        run.trace, "me", horizon=run.final_time,
+        require_all_served=run.completed, clusters=clusters,
     )
-    latencies = driver.latencies()
+    latencies = run.latencies()
     return TrialResult(
         params={"n": n, "seed": seed, "loss": loss,
-                "topology": sim.topology.name},
-        ok=verdict.ok and (completed or not require_completion),
+                "topology": run.topology.name, "engine": engine},
+        ok=verdict.ok and (run.completed or not require_completion),
         violations=len(verdict.violations),
         measurements={
-            "served": driver.total_completed(),
+            "served": len(run.completions),
             "requested": requests_per_process * n,
-            "completed": completed,
+            "completed": run.completed,
             "cs_count": verdict.info.get("cs_count", 0),
-            "messages": sim.stats.sent,
+            "messages": run.stats.sent,
             "latency_p50": summarize(latencies).p50 if latencies else 0,
             "latency_p95": summarize(latencies).p95 if latencies else 0,
-            "final_time": sim.now,
+            "final_time": run.final_time,
         },
     )
 

@@ -36,7 +36,14 @@ class TokenMessage:
 
 
 class TokenMutexLayer(Layer):
-    """Self-stabilizing token-ring mutual exclusion (baseline)."""
+    """Self-stabilizing token-ring mutual exclusion (baseline).
+
+    The token circulates on the *virtual* ring in ascending pid order, so
+    the layer runs on any topology in which each process is adjacent to its
+    pid-successor — the paper's complete graph and, naturally, a
+    :class:`~repro.sim.topology.Ring` (where the virtual ring *is* the
+    physical one).  Attachment fails fast anywhere else.
+    """
 
     def __init__(
         self,
@@ -58,6 +65,16 @@ class TokenMutexLayer(Layer):
         self.in_cs = False
 
     # -- topology helpers -------------------------------------------------------
+
+    def on_attach(self) -> None:
+        assert self.host is not None
+        succ = self.successor
+        if not self.host.sim.network.topology.adjacent(self.host.pid, succ):
+            raise ProtocolError(
+                f"token ring needs {self.host.pid} adjacent to its pid-successor "
+                f"{succ}; topology {self.host.sim.network.topology.name} breaks "
+                "the ring (use complete or ring)"
+            )
 
     @property
     def is_leader(self) -> bool:

@@ -83,10 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
         p.add_argument("--requests", type=int, default=2)
         _add_topology_arg(p)
+        _add_engine_args(p)
 
     p = sub.add_parser("compare", help="E6: snap vs self-stabilization")
     p.add_argument("--n", type=int, default=4)
     p.add_argument("--seeds", type=int, nargs="+", default=list(range(6)))
+    p.add_argument(
+        "--topology", default=None, metavar="SPEC",
+        help="communication graph for the head-to-head: complete (default) "
+             "or ring (the token baseline needs the pid-order ring embedded)",
+    )
 
     p = sub.add_parser("scaling", help="E7: wave cost vs system size")
     p.add_argument("--ns", type=int, nargs="+", default=[2, 3, 5, 8])
@@ -110,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--losses", type=float, nargs="+", default=[0.0, 0.2])
     p.add_argument("--protocol", choices=["pif", "mutex"], default="pif")
+    _add_engine_args(p)
 
     p = sub.add_parser("aggregate", help="application demo: PIF aggregation wave")
     p.add_argument("--n", type=int, default=4)
@@ -125,6 +132,31 @@ def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
         "--topology", default=None, metavar="SPEC",
         help="communication graph: complete (default), ring, star, grid[:RxC], "
              "gnp[:P], clustered[:K]",
+    )
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=["serial", "sharded"], default="serial",
+        help="execution backend: one in-process scheduler (serial) or the "
+             "topology partitioned across worker processes (sharded); both "
+             "produce bit-identical results for the same seed",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="worker count for --engine sharded (default: one per "
+             "arbitration-cluster group)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=None, metavar="W",
+        help="time-window size (ticks) for --engine sharded; must not exceed "
+             "the latency lower bound (default: exactly that bound)",
+    )
+    parser.add_argument(
+        "--latency", type=int, nargs=2, default=(1, 3), metavar=("LO", "HI"),
+        help="message latency bounds in ticks (default 1 3); the lower bound "
+             "is the sharded engine's lookahead, so raising it allows wider "
+             "--window values (fewer barriers)",
     )
 
 
@@ -150,10 +182,11 @@ def _cmd_trials(args, runner, title: str) -> str:
     trials = [
         runner(args.n, seed=s, loss=args.loss,
                requests_per_process=args.requests,
-               topology=args.topology)
+               topology=args.topology, latency=tuple(args.latency),
+               engine=args.engine, shards=args.shards, window=args.window)
         for s in args.seeds
     ]
-    keys = ["n", "topology", "seed", "loss", "ok", "violations"]
+    keys = ["n", "topology", "engine", "seed", "loss", "ok", "violations"]
     extra = sorted(
         k for k in trials[0].measurements if isinstance(
             trials[0].measurements[k], (int, float, bool))
@@ -167,7 +200,8 @@ def _cmd_trials(args, runner, title: str) -> str:
 
 def _cmd_compare(args) -> str:
     results = compare_mutex_protocols(n=args.n, seeds=args.seeds,
-                                      horizon=800_000)
+                                      horizon=800_000,
+                                      topology=args.topology)
     agg = aggregate_comparison(results)
     table = render_table(
         ["seed", "snap viol", "snap served", "self viol", "self served",
@@ -224,6 +258,8 @@ def _cmd_matrix(args) -> str:
     rows = run_topology_matrix(
         n=args.n, topologies=args.topologies, losses=args.losses,
         seeds=args.seeds, protocol=args.protocol,
+        engine=args.engine, shards=args.shards, window=args.window,
+        latency=tuple(args.latency),
     )
     return render_table(
         list(rows[0].keys()), [list(r.values()) for r in rows],

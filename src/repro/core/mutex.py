@@ -106,6 +106,13 @@ class MutexLayer(Layer, PifClient):
         self.privileges: dict[int, bool] = {}
         # True while this process occupies the critical section.
         self.in_cs: bool = False
+        # True iff the current Request=In computation genuinely started in
+        # this run (A0 witnessed Wait -> In).  A scrambled configuration can
+        # fabricate Request=In out of thin air; the CS such a phantom
+        # computation executes is initial-configuration occupancy (the
+        # paper's footnote 1), not a *requested* CS — the guarantee covers
+        # computations started after the arbitrary initial configuration.
+        self._request_started: bool = False
 
     # -- wiring -----------------------------------------------------------------
 
@@ -181,6 +188,7 @@ class MutexLayer(Layer, PifClient):
         self.idl.request_learn()
         if self.request is RequestState.WAIT:
             self.request = RequestState.IN
+            self._request_started = True
             self.host.emit(EventKind.START, tag=self.tag)
         self._set_phase(1)
 
@@ -233,7 +241,9 @@ class MutexLayer(Layer, PifClient):
     def _enter_cs(self) -> None:
         assert self.host is not None
         self.in_cs = True
-        self.host.emit(EventKind.CS_ENTER, tag=self.tag, requested=True)
+        self.host.emit(
+            EventKind.CS_ENTER, tag=self.tag, requested=self._request_started
+        )
         if self.cs_body is not None:
             self.cs_body()
         self.host.set_busy_for(self.cs_duration)
@@ -246,6 +256,7 @@ class MutexLayer(Layer, PifClient):
         self.in_cs = False
         self.host.emit(EventKind.CS_EXIT, tag=self.tag)
         self.request = RequestState.DONE
+        self._request_started = False
         self.host.emit(EventKind.DECIDE, tag=self.tag)
         self._release()
         self._set_phase(4)
@@ -321,6 +332,7 @@ class MutexLayer(Layer, PifClient):
     def scramble(self, rng: random.Random) -> None:
         assert self.host is not None
         self.request = rng.choice(list(RequestState))
+        self._request_started = False
         self.phase = rng.randint(0, 4)
         self.value = rng.randrange(self._value_modulus)
         for q in self.host.others:
@@ -344,6 +356,7 @@ class MutexLayer(Layer, PifClient):
     def snapshot(self) -> dict[str, Any]:
         return {
             "request": self.request,
+            "request_started": self._request_started,
             "phase": self.phase,
             "value": self.value,
             "privileges": dict(self.privileges),
@@ -352,6 +365,7 @@ class MutexLayer(Layer, PifClient):
 
     def restore(self, state: dict[str, Any]) -> None:
         self.request = state["request"]
+        self._request_started = state.get("request_started", False)
         self.phase = state["phase"]
         self.value = state["value"]
         self.privileges = dict(state["privileges"])

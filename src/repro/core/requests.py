@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.errors import ProtocolError
+from repro.sim.determinism import driver_key
 from repro.types import RequestState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -75,10 +76,16 @@ class RequestDriver:
         self.payload = payload
         self._per_process: dict[int, _PerProcess] = {
             pid: _PerProcess(remaining=requests_per_process, next_issue_at=first_at)
-            for pid in (pids if pids is not None else sim.pids)
+            for pid in sorted(pids if pids is not None else sim.pids)
         }
         self._issue_counter: dict[int, int] = {pid: 0 for pid in self._per_process}
-        sim.scheduler.post_at(first_at, self._tick)
+        #: Tick at which the driver observed its last request serviced (None
+        #: while unfinished) — the sharded engine's global stop time is the
+        #: max of this over all shard drivers.
+        self.done_at: int | None = None
+        # Driver ticks run first within their tick (canonical class 0) —
+        # identically in the serial engine and in every shard worker.
+        sim.scheduler.post_at(first_at, self._tick, driver_key())
 
     # -- polling --------------------------------------------------------------
 
@@ -103,7 +110,9 @@ class RequestDriver:
             slot.remaining -= 1
             slot.issued_at = now
         if self._unfinished():
-            self.sim.scheduler.post_in(self.poll, self._tick)
+            self.sim.scheduler.post_in(self.poll, self._tick, driver_key())
+        elif self.done_at is None:
+            self.done_at = now
 
     def _issue(self, pid: int, layer: Any) -> None:
         count = self._issue_counter[pid]

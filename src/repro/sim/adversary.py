@@ -5,6 +5,15 @@ values in every process variable and arbitrary (well-typed) messages in every
 channel, up to the capacity bound.  :func:`scramble_system` implements that
 adversary; :func:`figure1_configuration` builds the paper's Figure 1 worst
 case for the two-process PIF handshake.
+
+The scramble is *per-entity seeded*: every process and every directed channel
+is rewritten from its own stream derived from the scramble seed (see
+:mod:`repro.sim.determinism`).  The configuration a given entity receives is
+therefore independent of how many other entities were scrambled before it —
+which is what lets a shard worker hosting a subset of the processes
+reproduce exactly its slice of the global arbitrary configuration.  Passing
+a ``random.Random`` instead of an int seed keeps the historical API: one
+64-bit draw from it becomes the base seed.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ import random
 from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
+from repro.sim.determinism import derive_seed
 from repro.sim.trace import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -26,33 +36,50 @@ __all__ = [
 ]
 
 
-def scramble_processes(sim: "Simulator", rng: random.Random) -> None:
-    """Overwrite every variable of every layer with arbitrary domain values."""
-    for host in sim.hosts.values():
-        host.scramble(rng)
-    sim.trace.emit(sim.now, EventKind.SCRAMBLE, None, what="processes")
+def _base_seed(rng_or_seed: "random.Random | int") -> int:
+    if isinstance(rng_or_seed, random.Random):
+        return rng_or_seed.getrandbits(64)
+    return int(rng_or_seed)
+
+
+def scramble_processes(
+    sim: "Simulator",
+    rng_or_seed: "random.Random | int",
+    *,
+    emit_trace: bool = True,
+) -> None:
+    """Overwrite every variable of every hosted layer with arbitrary values."""
+    base = _base_seed(rng_or_seed)
+    for pid, host in sim.hosts.items():
+        host.scramble(random.Random(derive_seed(base, "proc", pid)))
+    if emit_trace:
+        sim.trace.emit(sim.now, EventKind.SCRAMBLE, None, what="processes")
 
 
 def scramble_channels(
     sim: "Simulator",
-    rng: random.Random,
+    rng_or_seed: "random.Random | int",
     fill_prob: float = 0.7,
     max_per_tag: int | None = None,
+    *,
+    emit_trace: bool = True,
 ) -> int:
     """Pre-load channels with arbitrary well-typed in-flight messages.
 
-    For every ordered pair and every protocol-instance tag, injects up to the
-    channel's capacity for that tag (or ``max_per_tag``) garbage messages,
-    each with probability ``fill_prob``.  Returns the number injected.
+    For every ordered pair with a hosted sender and every protocol-instance
+    tag, injects up to the channel's capacity for that tag (or
+    ``max_per_tag``) garbage messages, each with probability ``fill_prob``.
+    Returns the number injected.
 
     On unbounded channels ``max_per_tag`` defaults to 3 — an *arbitrary but
     finite* initial content, as the Section 3 model prescribes.
     """
+    base = _base_seed(rng_or_seed)
     injected = 0
-    for src in sim.pids:
-        src_host = sim.hosts[src]
+    for src, src_host in sim.hosts.items():
         for dst in sim.network.peers_of(src):
             channel = sim.network.channel(src, dst)
+            rng = random.Random(derive_seed(base, "chanfill", src, dst))
             for layer in src_host.layers:
                 cap = channel.capacity_for(layer.tag)
                 budget = cap if cap is not None else (max_per_tag or 3)
@@ -68,20 +95,28 @@ def scramble_channels(
                         break
                     sim.inject(src, dst, garbage)
                     injected += 1
-    sim.trace.emit(sim.now, EventKind.SCRAMBLE, None, what="channels", injected=injected)
+    if emit_trace:
+        sim.trace.emit(sim.now, EventKind.SCRAMBLE, None, what="channels", injected=injected)
     return injected
 
 
 def scramble_system(
     sim: "Simulator",
-    rng: random.Random,
+    rng_or_seed: "random.Random | int",
     fill_channels: bool = True,
     fill_prob: float = 0.7,
-) -> None:
-    """Arbitrary initial configuration: scramble states and channels."""
-    scramble_processes(sim, rng)
+    *,
+    emit_trace: bool = True,
+) -> int:
+    """Arbitrary initial configuration: scramble states and channels.
+
+    Returns the number of garbage messages injected into channels.
+    """
+    base = _base_seed(rng_or_seed)
+    scramble_processes(sim, base, emit_trace=emit_trace)
     if fill_channels:
-        scramble_channels(sim, rng, fill_prob=fill_prob)
+        return scramble_channels(sim, base, fill_prob=fill_prob, emit_trace=emit_trace)
+    return 0
 
 
 def figure1_configuration(sim: "Simulator", tag: str = "pif") -> tuple[int, int]:

@@ -119,6 +119,9 @@ class _Entry:
     msg: TaggedMessage
     enqueued_at: int
     delivery_time: int | None = None  # None until the network schedules it
+    #: Admission sequence number on this channel (canonical delivery rank —
+    #: computable identically on both sides of a shard boundary).
+    seq: int = 0
 
 
 class ChannelBase(abc.ABC):
@@ -131,6 +134,8 @@ class ChannelBase(abc.ABC):
         # Monotone per-tag delivery clock: enforces FIFO-per-tag even with
         # jittered latencies and capacity > 1.
         self._last_delivery: dict[str, int] = {}
+        # Monotone admission counter (see _Entry.seq).
+        self._admit_seq = 0
 
     # -- capacity ---------------------------------------------------------
 
@@ -156,7 +161,8 @@ class ChannelBase(abc.ABC):
         """
         if self.is_full_for(msg.tag):
             return None
-        entry = _Entry(msg=msg, enqueued_at=now)
+        self._admit_seq += 1
+        entry = _Entry(msg=msg, enqueued_at=now, seq=self._admit_seq)
         self._entries.append(entry)
         return entry
 

@@ -1,0 +1,99 @@
+"""Execution-order determinism primitives shared by the serial and sharded engines.
+
+The sharded engine (:mod:`repro.sim.sharded`) must produce **bit-identical**
+traces to the serial engine for the same seed.  Two things make that possible,
+and both live here because the *serial* engine has to play by the same rules:
+
+1. **Per-entity random streams** (:func:`derive_seed`).  Every random draw the
+   engine makes is taken from a stream owned by the entity it concerns — one
+   stream per process for activation stagger/jitter, one stream per directed
+   channel for loss/corruption/latency, one per entity for the scramble
+   adversary.  Draw values then depend only on (root seed, entity, how many
+   draws that entity made before), never on how events of *different* entities
+   interleave — so a shard that hosts a subset of the entities reproduces
+   exactly the draws the serial engine would have made for them.
+
+2. **Canonical event keys** (:func:`driver_key` .. :func:`delivery_key`).
+   The scheduler orders same-tick events by ``(key, seq)``.  Engine events
+   carry content-derived keys (who fires, which channel, which in-flight
+   message), so the order in which same-tick events execute is a function of
+   the *simulation state*, not of heap insertion history.  A shard scheduler
+   holding only its own processes' events therefore pops them in exactly the
+   relative order the global scheduler would have.  Within a tick the classes
+   run: external drivers/user posts (0) < process timers (1) < activations
+   (2) < message deliveries (3).
+
+Keys are packed into plain ints so heap comparisons stay at C speed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+__all__ = [
+    "derive_seed",
+    "driver_key",
+    "timer_key",
+    "activation_key",
+    "delivery_key",
+]
+
+# Key layout:  (((cls << PID_BITS | a) << PID_BITS | b) << SEQ_BITS) | c
+# pids must fit PID_BITS; per-entity counters (timer seq, channel admission
+# seq) fit SEQ_BITS.  Python ints are unbounded so "overflow" would merely
+# break ordering — the packers assert the bounds instead.
+_PID_BITS = 21
+_SEQ_BITS = 42
+_PID_MAX = (1 << _PID_BITS) - 1
+_SEQ_MAX = (1 << _SEQ_BITS) - 1
+
+#: Key class 0 — external pollers (request drivers) and generic user posts.
+DRIVER_CLASS = 0
+#: Key class 1 — per-process timers (``host.call_later``).
+TIMER_CLASS = 1
+#: Key class 2 — weakly-fair activations.
+ACTIVATION_CLASS = 2
+#: Key class 3 — message deliveries (and cross-shard slot releases).
+DELIVERY_CLASS = 3
+
+
+def _pack(cls: int, a: int, b: int, c: int) -> int:
+    if not (0 <= a <= _PID_MAX and 0 <= b <= _PID_MAX and 0 <= c <= _SEQ_MAX):
+        raise ValueError(f"event key field out of range: cls={cls} a={a} b={b} c={c}")
+    return (((cls << _PID_BITS | a) << _PID_BITS | b) << _SEQ_BITS) | c
+
+
+def driver_key() -> int:
+    """Key for external request drivers / pollers (class 0, first in a tick)."""
+    return _pack(DRIVER_CLASS, 0, 0, 0)
+
+
+def timer_key(pid: int, seq: int) -> int:
+    """Key for a ``call_later`` timer at ``pid`` (``seq`` = per-host counter)."""
+    return _pack(TIMER_CLASS, pid, 0, seq)
+
+
+def activation_key(pid: int) -> int:
+    """Key for ``pid``'s activation (at most one per process per tick)."""
+    return _pack(ACTIVATION_CLASS, pid, 0, 0)
+
+
+def delivery_key(dst: int, src: int, entry_seq: int) -> int:
+    """Key for delivering in-flight message ``entry_seq`` on ``src -> dst``.
+
+    ``entry_seq`` is the channel's admission counter, so same-tick deliveries
+    on one channel keep admission (FIFO) order, and the key is computable on
+    both sides of a shard boundary.
+    """
+    return _pack(DELIVERY_CLASS, dst, src, entry_seq)
+
+
+def derive_seed(*parts: Any) -> int:
+    """A stable 64-bit seed from ``parts`` (ints/strings), identical across
+    processes and Python invocations (no reliance on ``hash()``)."""
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        h.update(repr(part).encode())
+        h.update(b"\x1f")
+    return int.from_bytes(h.digest(), "big")

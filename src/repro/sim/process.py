@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.errors import ProtocolError, SimulationError
+from repro.sim.determinism import timer_key
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.channel import TaggedMessage
@@ -120,8 +121,10 @@ class ProcessHost:
         # registration — rebuilding per activation dominated the hot loop.
         self._action_table: list[tuple[Callable[[], bool], Callable[[], None]]] = []
         #: The process is busy (executing a durational critical section)
-        #: until this tick; activations and deliveries wait.
+        #: until this tick; activations and message dispatches wait.
         self.busy_until: int = -1
+        # Monotone counter keying call_later timers (canonical event order).
+        self._timer_seq: int = 0
 
     # -- wiring -------------------------------------------------------------
 
@@ -194,7 +197,10 @@ class ProcessHost:
         return self.sim.rng
 
     def call_later(self, delay: int, fn: Callable[[], None]):
-        return self.sim.scheduler.schedule_in(delay, fn)
+        self._timer_seq += 1
+        return self.sim.scheduler.schedule_in(
+            delay, fn, timer_key(self.pid, self._timer_seq)
+        )
 
     def set_busy_for(self, duration: int) -> None:
         """Mark the process busy (atomically occupied) for ``duration`` ticks."""

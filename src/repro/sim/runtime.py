@@ -10,8 +10,21 @@ processes.  It implements the paper's asynchronous message-passing semantics:
   latency; it can be lost by the loss model or by arriving at a full channel
   slot (Section 4 semantics); per-tag FIFO order is preserved.
 * **Atomicity** — while a process is *busy* (executing a durational critical
-  section, i.e. a long atomic action) neither activations nor deliveries
-  happen at it; deliveries wait in the channel.
+  section, i.e. a long atomic action) neither activations nor message
+  dispatches happen at it.  An arriving message leaves its channel slot at
+  the scheduled delivery time and waits *at the host*; the dispatch retries
+  when the process frees up.  The channel's capacity bound therefore
+  applies to messages *in the channel* (sender-owned accounting — the
+  invariant that lets a shard admit without asking the receiver's shard);
+  quiescence checks count parked arrivals via :meth:`Simulator.in_transit`.
+
+Determinism (see :mod:`repro.sim.determinism`): every random draw comes from
+a per-entity stream (per-process activation jitter, per-directed-channel
+loss/corruption/latency) and every engine event carries a canonical
+content-derived scheduler key.  Runs are therefore reproducible for a given
+seed *and* independent of how events of unrelated entities interleave — the
+property the sharded engine (:mod:`repro.sim.sharded`) relies on to be
+bit-identical with serial execution.
 
 Two driving styles:
 
@@ -19,12 +32,18 @@ Two driving styles:
   advances time until a horizon or a predicate holds.
 * ``auto=False``: *manual mode* for the Theorem 1 replay engine — the caller
   explicitly activates processes and delivers specific messages.
+
+Sharding hooks: ``hosts_for`` restricts which pids this engine *hosts* (the
+full topology stays visible for channel numbering).  Sends to a non-hosted
+pid release their channel slot at the scheduled delivery time and append to
+:attr:`cross_outbox`; the sharded driver exchanges outboxes at time-window
+barriers and re-injects them via :meth:`schedule_remote_arrival`.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.errors import SimulationError
 from repro.sim.channel import (
@@ -35,6 +54,11 @@ from repro.sim.channel import (
     TaggedMessage,
     UnboundedChannel,
 )
+from repro.sim.determinism import (
+    activation_key,
+    delivery_key,
+    derive_seed,
+)
 from repro.sim.network import Network
 from repro.sim.process import ProcessHost
 from repro.sim.scheduler import Scheduler
@@ -42,9 +66,12 @@ from repro.sim.stats import SimStats
 from repro.sim.topology import Topology, topology_from_spec
 from repro.sim.trace import EventKind, Trace
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "CrossShardSend"]
 
 BuildFn = Callable[[ProcessHost], None]
+
+#: One cross-shard message: (src, dst, msg, delivery_time, channel entry seq).
+CrossShardSend = tuple[int, int, TaggedMessage, int, int]
 
 
 class Simulator:
@@ -74,6 +101,7 @@ class Simulator:
         activation_jitter: int = 1,
         auto: bool = True,
         trace_network: bool = False,
+        hosts_for: Sequence[int] | None = None,
     ) -> None:
         if isinstance(pids, int):
             pids = list(range(1, pids + 1))
@@ -96,10 +124,11 @@ class Simulator:
         if activation_period < 1:
             raise SimulationError(f"activation_period must be >= 1, got {activation_period}")
 
+        self.seed = seed
+        #: General-purpose stream for callers (tests, ad-hoc experiments).
+        #: The engine itself never draws from it — every engine draw comes
+        #: from a per-entity derived stream so shard composition is exact.
         self.rng = random.Random(seed)
-        # Bound-method caches for the event hot path (one Random per sim,
-        # reused everywhere — including scramble — so runs stay deterministic).
-        self._randint = self.rng.randint
         self.scheduler = Scheduler()
         self.trace = Trace()
         self.stats = SimStats()
@@ -128,24 +157,54 @@ class Simulator:
             )
         self.topology: Topology = self.network.topology
 
+        # Per-directed-channel streams (loss, corruption, latency): created
+        # lazily alongside the lazy channel map.  _chan_fast caches, per
+        # channel, the stream's bound randint and the delivery-key base
+        # (delivery_key(dst, src, 0)) — one dict hit on the send hot path
+        # instead of stream lookup + method lookup + key packing.
+        self._chan_rngs: dict[tuple[int, int], random.Random] = {}
+        self._chan_fast: dict[
+            tuple[int, int], tuple[Callable[[int, int], int], int]
+        ] = {}
+
         #: Observation hooks (recording, instrumentation). ``delivery_hooks``
         #: fire just before a message is dispatched to the receiving process;
         #: ``activation_hooks`` fire just before a process activation runs.
         self.delivery_hooks: list[Callable[[int, int, TaggedMessage], None]] = []
         self.activation_hooks: list[Callable[[int], None]] = []
 
+        #: Cross-shard sends awaiting exchange at the next window barrier
+        #: (only ever populated when ``hosts_for`` excludes some pids).
+        self.cross_outbox: list[CrossShardSend] = []
+        #: Messages that left their channel slot but whose dispatch is
+        #: parked at a busy receiver (counted so quiescence checks see them).
+        self.parked_dispatches = 0
+
+        if hosts_for is None:
+            hosted: tuple[int, ...] = self.network.pids
+        else:
+            hosted = tuple(sorted(hosts_for))
+            unknown = set(hosted) - set(self.network.pids)
+            if unknown:
+                raise SimulationError(f"hosts_for mentions unknown pids {sorted(unknown)}")
+
         self.hosts: dict[int, ProcessHost] = {}
-        for pid in self.network.pids:
+        for pid in hosted:
             host = ProcessHost(self, pid)
             build(host)
             self.hosts[pid] = host
 
         if auto:
             # Stagger first activations deterministically so processes are
-            # not lockstep-synchronized (asynchrony).
-            for pid in self.network.pids:
-                offset = self.rng.randrange(activation_period) if activation_period > 1 else 0
-                self.scheduler.post_at(offset, self._make_activation(pid))
+            # not lockstep-synchronized (asynchrony).  Offsets and jitters
+            # come from each process's own stream, so they are identical
+            # whether the process is simulated serially or inside a shard.
+            for pid in hosted:
+                act_rng = random.Random(derive_seed(seed, "act", pid))
+                offset = act_rng.randrange(activation_period) if activation_period > 1 else 0
+                self.scheduler.post_at(
+                    offset, self._make_activation(pid, act_rng), activation_key(pid)
+                )
 
     # -- basic accessors -----------------------------------------------------
 
@@ -166,6 +225,14 @@ class Simulator:
     def layer(self, pid: int, tag: str):
         return self.host(pid).layer(tag)
 
+    def chan_rng(self, src: int, dst: int) -> random.Random:
+        """The random stream owned by the directed channel ``src -> dst``."""
+        rng = self._chan_rngs.get((src, dst))
+        if rng is None:
+            rng = random.Random(derive_seed(self.seed, "chan", src, dst))
+            self._chan_rngs[(src, dst)] = rng
+        return rng
+
     # -- message transmission --------------------------------------------------
 
     def transmit(self, src: int, dst: int, msg: TaggedMessage) -> bool:
@@ -176,8 +243,8 @@ class Simulator:
         if self.trace_network:
             self.trace.emit(self.now, EventKind.SEND, src, dst=dst, tag=msg.tag)
         if self.corruption is not None:
-            msg = self.corruption.maybe_corrupt(self.rng, msg)
-        if not self._lossless and self.loss.should_drop(self.rng, msg):
+            msg = self.corruption.maybe_corrupt(self.chan_rng(src, dst), msg)
+        if not self._lossless and self.loss.should_drop(self.chan_rng(src, dst), msg):
             stats.dropped_loss += 1
             if self.trace_network:
                 self.trace.emit(self.now, EventKind.DROP_LOSS, src, dst=dst, tag=msg.tag)
@@ -194,34 +261,96 @@ class Simulator:
         return True
 
     def _schedule_delivery(self, channel: ChannelBase, entry) -> None:
+        pair = (channel.src, channel.dst)
+        fast = self._chan_fast.get(pair)
+        if fast is None:
+            fast = (
+                self.chan_rng(*pair).randint,
+                delivery_key(channel.dst, channel.src, 0),
+            )
+            self._chan_fast[pair] = fast
+        randint, key_base = fast
         lo, hi = self.latency
-        proposed = self.scheduler._now + self._randint(lo, hi)
+        proposed = self.scheduler._now + randint(lo, hi)
         entry.delivery_time = channel.fifo_delivery_time(entry.msg.tag, proposed)
-        self.scheduler.post_at(
-            entry.delivery_time, lambda: self._deliver(channel, entry)
-        )
+        # Key bases are seq-0 keys; entry seqs stay within the key's low
+        # bits (see repro.sim.determinism), so addition == packing.
+        key = key_base + entry.seq
+        if channel.dst in self.hosts:
+            self.scheduler.post_at(
+                entry.delivery_time, lambda: self._deliver(channel, entry), key
+            )
+        else:
+            # Cross-shard send: this engine owns the channel's slot
+            # accounting (the slot frees at the scheduled delivery time,
+            # exactly as it would under serial execution); the message
+            # itself is handed to the destination shard at the barrier.
+            self.scheduler.post_at(
+                entry.delivery_time, lambda: self._release_slot(channel, entry), key
+            )
+            self.cross_outbox.append(
+                (channel.src, channel.dst, entry.msg, entry.delivery_time, entry.seq)
+            )
+
+    def _release_slot(self, channel: ChannelBase, entry) -> None:
+        if entry in channel._entries:
+            channel.remove(entry)
 
     def _deliver(self, channel: ChannelBase, entry) -> None:
         if entry not in channel._entries:
             return  # channel was cleared/restored under us
-        host = self.hosts[channel.dst]
+        channel.remove(entry)
+        self._dispatch_arrival(channel.src, channel.dst, entry.msg, entry.seq)
+
+    def _dispatch_arrival(
+        self, src: int, dst: int, msg: TaggedMessage, entry_seq: int, parked: bool = False
+    ) -> None:
+        host = self.hosts[dst]
         if host.busy:
-            # The receiver is inside a long atomic action; the message stays
-            # in the channel (still occupying its slot) and delivery retries
-            # when the process frees up.
+            # The receiver is inside a long atomic action; the message has
+            # already left its channel slot and waits at the host.  The
+            # dispatch retries — under the same canonical key, so arrival
+            # order among deferred messages is preserved — when the process
+            # frees up.
+            if not parked:
+                self.parked_dispatches += 1
             self.scheduler.post_at(
-                host.busy_until, lambda: self._deliver(channel, entry)
+                host.busy_until,
+                lambda: self._dispatch_arrival(src, dst, msg, entry_seq, True),
+                delivery_key(dst, src, entry_seq),
             )
             return
-        channel.remove(entry)
-        self.stats.record_delivery(entry.msg.tag)
+        if parked:
+            self.parked_dispatches -= 1
+        self.stats.record_delivery(msg.tag)
         if self.trace_network:
-            self.trace.emit(
-                self.now, EventKind.DELIVER, channel.dst, src=channel.src, tag=entry.msg.tag
-            )
+            self.trace.emit(self.now, EventKind.DELIVER, dst, src=src, tag=msg.tag)
         for hook in self.delivery_hooks:
-            hook(channel.src, channel.dst, entry.msg)
-        host.dispatch(channel.src, entry.msg)
+            hook(src, dst, msg)
+        host.dispatch(src, msg)
+
+    def schedule_remote_arrival(
+        self, src: int, dst: int, msg: TaggedMessage, time: int, entry_seq: int
+    ) -> None:
+        """Schedule dispatch of a message admitted on a remote shard.
+
+        The source shard computed ``time`` (and the channel entry seq) at
+        send time from the channel's own stream, so scheduling it here
+        reproduces exactly the delivery the serial engine would perform.
+        """
+        if dst not in self.hosts:
+            raise SimulationError(f"remote arrival for non-hosted pid {dst}")
+        self.scheduler.post_at(
+            time,
+            lambda: self._dispatch_arrival(src, dst, msg, entry_seq),
+            delivery_key(dst, src, entry_seq),
+        )
+
+    def drain_outbox(self) -> list[CrossShardSend]:
+        """Take (and clear) the pending cross-shard sends."""
+        outbox = self.cross_outbox
+        self.cross_outbox = []
+        return outbox
 
     def inject(self, src: int, dst: int, msg: TaggedMessage, *, schedule: bool | None = None) -> None:
         """Adversarially place ``msg`` into the channel ``src -> dst``.
@@ -241,17 +370,18 @@ class Simulator:
 
     # -- activations -----------------------------------------------------------
 
-    def _make_activation(self, pid: int) -> Callable[[], None]:
+    def _make_activation(self, pid: int, act_rng: random.Random) -> Callable[[], None]:
         # Everything the self-rescheduling loop touches is bound locally:
         # activations fire every few ticks at every process forever, so this
         # closure is one of the two hottest paths in the engine.
         host = self.hosts[pid]
         stats = self.stats
         hooks = self.activation_hooks
-        randint = self._randint
+        randint = act_rng.randint
         post_in = self.scheduler.post_in
         period = self.activation_period
         jitter_max = self.activation_jitter
+        key = activation_key(pid)
 
         def fire() -> None:
             if not host.busy:
@@ -260,7 +390,7 @@ class Simulator:
                     hook(pid)
                 host.activate()
             jitter = randint(0, jitter_max) if jitter_max > 0 else 0
-            post_in(period + jitter, fire)
+            post_in(period + jitter, fire, key)
 
         return fire
 
@@ -322,17 +452,24 @@ class Simulator:
         self.scheduler.run_until(max_time, stop=stop)
         return satisfied
 
+    def in_transit(self) -> int:
+        """Messages not yet dispatched: in a channel slot or parked at a
+        busy receiver (arrived, slot released, dispatch deferred)."""
+        return self.network.in_flight() + self.parked_dispatches
+
     def run_quiet(self, max_time: int, settle: int = 50) -> bool:
-        """Run until no message is in flight for ``settle`` consecutive ticks.
+        """Run until no message is in transit for ``settle`` consecutive ticks.
 
         Used to check the "if requests stop, the system eventually contains
-        no message" property of Protocol PIF.
+        no message" property of Protocol PIF.  Counts messages parked at
+        busy receivers, so a dispatch deferred past the quiet window cannot
+        fake quiescence.
         """
         deadline = self.now + max_time
         quiet_since: int | None = None
         while self.now < deadline:
             progressed = self.scheduler.run_until(min(self.now + settle, deadline))
-            if self.network.in_flight() == 0:
+            if self.in_transit() == 0:
                 if quiet_since is None:
                     quiet_since = self.now
                 elif self.now - quiet_since >= settle:
@@ -341,7 +478,7 @@ class Simulator:
                 quiet_since = None
             if progressed == 0 and self.now >= deadline:
                 break
-        return self.network.in_flight() == 0
+        return self.in_transit() == 0
 
     # -- configuration interface ---------------------------------------------------
 
@@ -352,8 +489,8 @@ class Simulator:
         """
         from repro.sim.adversary import scramble_system
 
-        rng = random.Random(seed) if seed is not None else self.rng
-        scramble_system(self, rng, fill_channels=fill_channels)
+        base = self.rng.getrandbits(64) if seed is None else seed
+        scramble_system(self, base, fill_channels=fill_channels)
 
     def snapshot_states(self) -> dict[int, dict[str, dict[str, Any]]]:
         """State of every process (an *abstract configuration*, Def. 2)."""

@@ -1,19 +1,26 @@
 """Deterministic discrete-event scheduler (the simulator's hot core).
 
 Time is an integer tick counter.  Events scheduled for the same tick run in
-the order they were scheduled (a monotone sequence number breaks ties), which
-makes every simulation fully deterministic for a given seed.
+``(key, seq)`` order: ``key`` is a *canonical* content-derived rank (see
+:mod:`repro.sim.determinism`) and ``seq`` is a monotone insertion counter that
+breaks remaining ties.  Engine events (activations, timers, deliveries) pass
+canonical keys, so same-tick ordering is a function of simulation state rather
+than heap insertion history — the property that lets the sharded engine
+(:mod:`repro.sim.sharded`) reproduce serial runs bit-for-bit.  Unkeyed events
+(key 0) keep the classic insertion order among themselves and run first in
+their tick.
 
 Engine notes — this loop dominates simulator wall-clock, so it is tuned:
 
-* Heap entries are plain ``(time, seq, handle)`` tuples: tuple comparison
+* Heap entries are plain ``(time, key, seq, handle)`` tuples: tuple comparison
   runs at C speed, which benchmarks ~3x faster than ordered dataclass or
   ``__slots__`` entry objects (pooled or not) under heapq churn.
 * Cancellation is lazy (the classic heapq idiom), but the queue *compacts*:
   when cancelled entries exceed half the queue (past a small floor), they
   are dropped and the heap is rebuilt in one O(len) pass.  Long runs with
   many cancelled timers therefore no longer grow the heap unboundedly.
-  Compaction preserves the (time, seq) order, so determinism is unaffected.
+  Compaction preserves the (time, key, seq) order, so determinism is
+  unaffected.
 * ``pending_count`` is O(1) bookkeeping instead of an O(len) scan.
 * :meth:`run_until` drains same-tick batches without re-peeking the heap
   top between events of the same tick.
@@ -60,24 +67,32 @@ class EventHandle:
 class Scheduler:
     """A priority-queue driven event loop over integer ticks."""
 
-    __slots__ = ("_now", "_seq", "_queue", "_cancelled")
+    __slots__ = ("_now", "_seq", "_queue", "_cancelled", "current_key")
 
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
-        # Heap of (time, seq, item) where item is an EventHandle (cancelable,
-        # from schedule_*) or a bare callback (fire-and-forget, from post_*).
-        # seq is unique, so heap comparisons never reach the third element.
-        self._queue: list[tuple[int, int, "EventHandle | Callable[[], None]"]] = []
+        # Heap of (time, key, seq, item) where item is an EventHandle
+        # (cancelable, from schedule_*) or a bare callback (fire-and-forget,
+        # from post_*).  seq is unique, so comparisons never reach the item.
+        self._queue: list[
+            tuple[int, int, int, "EventHandle | Callable[[], None]"]
+        ] = []
         # Cancelled-but-not-yet-popped entries currently in the heap.
         self._cancelled = 0
+        #: Canonical key of the event currently executing (0 outside events).
+        #: The sharded engine's trace merge reads this to give every emitted
+        #: trace event a globally sortable position.
+        self.current_key = 0
 
     @property
     def now(self) -> int:
         """Current simulated time."""
         return self._now
 
-    def schedule_at(self, time: int, callback: Callable[[], None]) -> EventHandle:
+    def schedule_at(
+        self, time: int, callback: Callable[[], None], key: int = 0
+    ) -> EventHandle:
         """Schedule ``callback`` to run at absolute tick ``time``."""
         if time < self._now:
             raise SchedulerError(
@@ -85,16 +100,18 @@ class Scheduler:
             )
         handle = EventHandle(callback, time, self)
         self._seq += 1
-        heapq.heappush(self._queue, (time, self._seq, handle))
+        heapq.heappush(self._queue, (time, key, self._seq, handle))
         return handle
 
-    def schedule_in(self, delay: int, callback: Callable[[], None]) -> EventHandle:
+    def schedule_in(
+        self, delay: int, callback: Callable[[], None], key: int = 0
+    ) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` ticks from now."""
         if delay < 0:
             raise SchedulerError(f"negative delay {delay}")
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback, key)
 
-    def post_at(self, time: int, callback: Callable[[], None]) -> None:
+    def post_at(self, time: int, callback: Callable[[], None], key: int = 0) -> None:
         """Fast path: schedule a *non-cancelable* callback at tick ``time``.
 
         Same ordering semantics as :meth:`schedule_at`, but no
@@ -107,13 +124,13 @@ class Scheduler:
                 f"cannot schedule at t={time}, current time is t={self._now}"
             )
         self._seq += 1
-        heapq.heappush(self._queue, (time, self._seq, callback))
+        heapq.heappush(self._queue, (time, key, self._seq, callback))
 
-    def post_in(self, delay: int, callback: Callable[[], None]) -> None:
+    def post_in(self, delay: int, callback: Callable[[], None], key: int = 0) -> None:
         """Fast path: non-cancelable callback ``delay`` ticks from now."""
         if delay < 0:
             raise SchedulerError(f"negative delay {delay}")
-        self.post_at(self._now + delay, callback)
+        self.post_at(self._now + delay, callback, key)
 
     def __len__(self) -> int:
         """Number of queue entries, including cancelled ones not yet compacted."""
@@ -135,8 +152,8 @@ class Scheduler:
     def _compact(self) -> None:
         """Drop cancelled entries and rebuild the heap in one pass.
 
-        Entries keep their (time, seq) keys, so heapify restores exactly the
-        order a pristine heap would have produced — determinism preserved.
+        Entries keep their (time, key, seq) keys, so heapify restores exactly
+        the order a pristine heap would have produced — determinism preserved.
         Compacts *in place*: run_until/run_next hold a local alias to the
         queue list while callbacks (which may cancel handles and trigger
         this) are executing, and rebinding would leave them iterating a
@@ -145,7 +162,7 @@ class Scheduler:
         self._queue[:] = [
             e
             for e in self._queue
-            if not (e[2].__class__ is EventHandle and e[2].cancelled)
+            if not (e[3].__class__ is EventHandle and e[3].cancelled)
         ]
         heapq.heapify(self._queue)
         self._cancelled = 0
@@ -158,17 +175,20 @@ class Scheduler:
         """
         queue = self._queue
         while queue:
-            time, _seq, item = heapq.heappop(queue)
+            time, key, _seq, item = heapq.heappop(queue)
             if item.__class__ is EventHandle:
                 if item.cancelled:
                     self._cancelled -= 1
                     continue
                 self._now = time
+                self.current_key = key
                 item.fired = True
                 item.callback()
             else:
                 self._now = time
+                self.current_key = key
                 item()
+            self.current_key = 0
             return True
         return False
 
@@ -190,21 +210,23 @@ class Scheduler:
             if tick > max_time:
                 break
             # Drain the same-tick batch without re-peeking between events.
-            # New events can land on the current tick mid-batch (seq order
-            # keeps them after the entry being executed), so re-check the
-            # top's time instead of pre-counting the batch.
+            # New events can land on the current tick mid-batch ((key, seq)
+            # order keeps later-keyed ones after the entry being executed),
+            # so re-check the top's time instead of pre-counting the batch.
             halted = False
             while queue and queue[0][0] == tick:
-                _time, _seq, item = heappop(queue)
+                _time, key, _seq, item = heappop(queue)
                 if item.__class__ is EventHandle:
                     if item.cancelled:
                         self._cancelled -= 1
                         continue
                     self._now = tick
+                    self.current_key = key
                     item.fired = True
                     item.callback()
                 else:
                     self._now = tick
+                    self.current_key = key
                     item()
                 executed += 1
                 if stop is not None and stop():
@@ -212,6 +234,7 @@ class Scheduler:
                     break
             if halted:
                 break
+        self.current_key = 0
         # Even if nothing (more) ran, time advances to the horizon so that
         # repeated run_until calls observe monotone time.
         if self._now < max_time and (not queue or queue[0][0] > max_time):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 __all__ = ["SimStats"]
 
@@ -31,6 +31,20 @@ class SimStats:
         if self.sent == 0:
             return 1.0
         return self.delivered / self.sent
+
+    def merge(self, other: "SimStats") -> None:
+        """Fold another stats object into this one (shard aggregation).
+
+        Field-generic so a counter added to this class can never be
+        silently dropped from sharded totals.
+        """
+        for spec in fields(self):
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, Counter):
+                mine.update(theirs)
+            else:
+                setattr(self, spec.name, mine + theirs)
 
     def record_send(self, tag: str) -> None:
         self.sent += 1

@@ -177,3 +177,46 @@ class TestAbp:
         assert sender.request is RequestState.IN
         sim.run(100_000, until=lambda s: sender.request is RequestState.DONE)
         assert sender.request is RequestState.DONE
+
+
+class TestTokenMutexOnRing:
+    """E6 ported off the complete graph: the virtual token ring embeds in
+    a physical Ring, so the snap-vs-self comparison runs there unchanged."""
+
+    def test_comparison_runs_on_ring_topology(self):
+        from repro.analysis.compare import aggregate_comparison, compare_mutex_protocols
+
+        results = compare_mutex_protocols(
+            n=5, seeds=[0, 1, 2], requests_per_process=2,
+            horizon=600_000, topology="ring",
+        )
+        agg = aggregate_comparison(results)
+        # Snap-stabilizing ME: zero violations from any initial configuration.
+        assert agg["snap_total_violations"] == 0
+        assert agg["snap_total_served"] == 5 * 3 * 2
+        # The self-stabilizing baseline still serves requests on the ring.
+        assert agg["self_total_served"] > 0
+
+    def test_baseline_violates_on_ring_from_forged_tokens(self):
+        # Over a batch of scrambles at least one forged-token overlap shows
+        # up on the ring, exactly as on the complete graph.
+        from repro.analysis.compare import aggregate_comparison, compare_mutex_protocols
+
+        results = compare_mutex_protocols(
+            n=5, seeds=list(range(6)), requests_per_process=1,
+            horizon=600_000, topology="ring",
+        )
+        agg = aggregate_comparison(results)
+        assert agg["self_configs_with_violation"] >= 1
+
+    def test_token_ring_rejects_non_embeddable_topology(self):
+        import pytest
+        from repro.baselines.self_stab_mutex import TokenMutexLayer
+        from repro.errors import ProtocolError
+        from repro.sim.runtime import Simulator
+
+        with pytest.raises(ProtocolError):
+            Simulator(
+                4, lambda h: h.register(TokenMutexLayer("tok")),
+                topology="star", auto=False,
+            )

@@ -1,0 +1,122 @@
+"""Unit tests for topology partitioning (the sharded engine's shard map)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.partition import Partition, partition_topology
+from repro.sim.topology import (
+    Clustered,
+    Complete,
+    Grid2D,
+    RandomGnp,
+    Ring,
+    arbitration_clusters,
+    topology_from_spec,
+)
+
+TOPOLOGIES = [
+    Complete(8),
+    Ring(12),
+    Grid2D(3, 4),
+    RandomGnp(10, p=0.3, seed=7),
+    Clustered(4, 8),
+]
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("topology", TOPOLOGIES, ids=lambda t: t.name)
+    @pytest.mark.parametrize("n_shards", [None, 1, 2, 4])
+    def test_every_host_in_exactly_one_shard(self, topology, n_shards):
+        partition = partition_topology(topology, n_shards)
+        seen: list[int] = []
+        for shard in partition.shards:
+            seen.extend(shard)
+        assert sorted(seen) == sorted(topology.pids)
+        assert len(seen) == len(set(seen))
+        # shard_of agrees with the member tuples
+        for index, shard in enumerate(partition.shards):
+            for pid in shard:
+                assert partition.shard_of[pid] == index
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES, ids=lambda t: t.name)
+    def test_explicit_shard_count_is_respected(self, topology):
+        for n_shards in (1, 2, min(4, topology.n)):
+            partition = partition_topology(topology, n_shards)
+            assert partition.n_shards == n_shards
+
+    def test_shard_count_bounds_rejected(self):
+        with pytest.raises(SimulationError):
+            partition_topology(Ring(4), 0)
+        with pytest.raises(SimulationError):
+            partition_topology(Ring(4), 5)
+
+
+class TestCrossEdges:
+    @pytest.mark.parametrize("topology", TOPOLOGIES, ids=lambda t: t.name)
+    @pytest.mark.parametrize("n_shards", [2, 3])
+    def test_cross_plus_local_is_exactly_the_edge_set(self, topology, n_shards):
+        partition = partition_topology(topology, n_shards)
+        cross = partition.cross_edges()
+        local = partition.local_edges()
+        assert sorted(cross + local) == sorted(topology.edges())
+        shard_of = partition.shard_of
+        assert all(shard_of[u] != shard_of[v] for u, v in cross)
+        assert all(shard_of[u] == shard_of[v] for u, v in local)
+
+    def test_single_shard_has_no_cross_edges(self):
+        partition = partition_topology(Complete(6), 1)
+        assert partition.cross_edges() == []
+        assert sorted(partition.local_edges()) == sorted(Complete(6).edges())
+
+
+class TestClusterAlignment:
+    def test_clustered_default_partition_is_the_clusters(self):
+        topology = Clustered(4, 8)
+        partition = partition_topology(topology)
+        assert partition.shards == tuple(
+            tuple(range(k * 8 + 1, (k + 1) * 8 + 1)) for k in range(4)
+        )
+
+    def test_generic_default_partition_follows_arbitration_clusters(self):
+        topology = Ring(12)
+        partition = partition_topology(topology)
+        groups = sorted(
+            tuple(sorted(members))
+            for members in arbitration_clusters(topology).values()
+        )
+        assert sorted(partition.shards) == groups
+
+    def test_clustered_cut_is_thin(self):
+        # Shard lines along clusters must cut only bridge edges.
+        topology = Clustered(4, 8)
+        partition = partition_topology(topology, 4)
+        described = partition.describe()
+        assert described["cut_fraction"] < 0.1
+
+    def test_complete_graph_falls_back_to_contiguous_blocks(self):
+        # One arbitration cluster, so an explicit count splits pids greedily.
+        partition = partition_topology(Complete(10), 4)
+        assert partition.n_shards == 4
+        sizes = sorted(len(s) for s in partition.shards)
+        assert sizes == [2, 2, 3, 3]
+
+    def test_spec_string_topologies_partition(self):
+        topology = topology_from_spec("clustered:2", 8)
+        partition = partition_topology(topology)
+        assert partition.n_shards >= 1
+
+
+class TestValidation:
+    def test_overlapping_shards_rejected(self):
+        with pytest.raises(SimulationError):
+            Partition(topology=Ring(4), shards=((1, 2), (2, 3, 4)))
+
+    def test_missing_pids_rejected(self):
+        with pytest.raises(SimulationError):
+            Partition(topology=Ring(4), shards=((1, 2),))
+
+    def test_empty_shard_rejected(self):
+        with pytest.raises(SimulationError):
+            Partition(topology=Ring(4), shards=((1, 2, 3, 4), ()))

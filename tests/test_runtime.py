@@ -109,10 +109,17 @@ class TestBusyDeliveryAndActivation:
         sim.host(2).set_busy_for(30)
         sim.transmit(1, 2, Note("e", "early"))
         sim.run(10)
-        assert sim.layer(2, "e").received == []  # still busy
-        assert sim.network.in_flight() == 1  # message keeps its slot
+        assert sim.layer(2, "e").received == []  # still busy: dispatch deferred
+        # The message left its channel slot at the scheduled delivery time
+        # (slot accounting is shard-local); it waits at the host instead —
+        # still visible to quiescence checks via in_transit().
+        assert sim.network.in_flight() == 0
+        assert sim.in_transit() == 1
+        assert sim.stats.delivered == 0  # not yet dispatched to the layer
         sim.run(60)
         assert sim.layer(2, "e").received == [(1, "early")]
+        assert sim.stats.delivered == 1
+        assert sim.in_transit() == 0
 
     def test_busy_process_skips_activations(self):
         fired = []
@@ -221,10 +228,13 @@ class TestDeterminism:
 
     def test_different_seed_different_trace(self):
         def run(seed):
-            sim = Simulator(3, build_echo, seed=seed, trace_network=True)
-            sim.transmit(1, 2, Note("e", "x"))
-            sim.run(50)
-            return [(e.time, e.kind) for e in sim.trace]
+            sim = Simulator(3, build_echo, seed=seed, trace_network=True,
+                            capacity=16)
+            for i in range(8):
+                sim.transmit(1, 2, Note("e", f"x{i}"))
+                sim.transmit(2, 3, Note("e", f"y{i}"))
+            sim.run(200)
+            return [(e.time, e.kind, e.process) for e in sim.trace]
 
         assert run(1) != run(2)
 
