@@ -24,6 +24,10 @@ def run_experiment():
 
 def test_e5_mutex_snap_stabilization(benchmark):
     trials = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    # Full per-trial records (measurements + engine/transport/wall-clock
+    # provenance) land in the bench JSON artifact, so runs of different
+    # engines stay comparable row for row.
+    benchmark.extra_info["trials"] = [t.as_dict() for t in trials]
     rows = [
         t.row("n", "loss", "ok", "violations", "served", "requested",
               "latency_p50", "latency_p95")

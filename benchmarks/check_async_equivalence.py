@@ -1,0 +1,146 @@
+"""CI gate: prove the async loopback engine equals the serial engine.
+
+Runs E3 (PIF) and E5 (ME) on the Complete, Ring and Clustered topologies
+at n <= 16 with ``engine=serial`` and ``engine=async --transport loopback``
+and fails on any divergence in the trace-derived metrics.  On top of the
+metric comparison it re-executes one PIF case and compares the raw traces
+event for event plus a canonical trace hash — the tentpole's bit-identity
+proof obligation — and asserts every online monitor agreed with the
+offline verdict.
+
+``--tcp-smoke`` additionally runs one E3 trial at n=8 over real localhost
+TCP sockets and requires completion with all online spec monitors
+passing; ``--tcp-only`` runs just that smoke.  The tcp path is wall-clock
+best-effort, so CI keeps it non-gating; the loopback gate is the hard
+contract.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_async_equivalence.py \
+        [--tcp-smoke | --tcp-only]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import time
+
+from repro.analysis.runner import execute_trial, run_mutex_trial, run_pif_trial
+from repro.core.pif import PifLayer
+
+CASES = [
+    ("E3 pif  complete   n=16", run_pif_trial, 16,
+     dict(topology=None, seed=0, loss=0.1, requests_per_process=1)),
+    ("E3 pif  ring       n=16", run_pif_trial, 16,
+     dict(topology="ring", seed=0, loss=0.1, requests_per_process=1)),
+    ("E3 pif  clustered  n=16", run_pif_trial, 16,
+     dict(topology="clustered:4", seed=0, loss=0.1, requests_per_process=1)),
+    ("E5 me   complete   n=8 ", run_mutex_trial, 8,
+     dict(topology=None, seed=1, loss=0.0, requests_per_process=1)),
+    ("E5 me   ring       n=8 ", run_mutex_trial, 8,
+     dict(topology="ring", seed=1, loss=0.0, requests_per_process=1)),
+    ("E5 me   clustered  n=16", run_mutex_trial, 16,
+     dict(topology="clustered:4", seed=3, loss=0.1, requests_per_process=1)),
+]
+
+
+def trace_hash(trace) -> str:
+    """Canonical digest of a trace (order, times, kinds, payload data)."""
+    h = hashlib.blake2b(digest_size=16)
+    for e in trace:
+        h.update(repr((e.time, e.kind, e.process, sorted(e.data.items()))).encode())
+        h.update(b"\x1e")
+    return h.hexdigest()
+
+
+def check_metrics() -> bool:
+    ok = True
+    for name, runner, n, kwargs in CASES:
+        t0 = time.perf_counter()
+        serial = runner(n, engine="serial", **kwargs)
+        t1 = time.perf_counter()
+        loopback = runner(n, engine="async", transport="loopback", **kwargs)
+        t2 = time.perf_counter()
+        same = (
+            serial.ok == loopback.ok
+            and serial.violations == loopback.violations
+            and serial.measurements == loopback.measurements
+            and loopback.provenance.get("monitors_ok", False) == loopback.ok
+        )
+        ok &= same
+        verdict = "OK " if same else "DIVERGED"
+        print(f"{verdict} {name}  serial={t1 - t0:.1f}s loopback={t2 - t1:.1f}s "
+              f"metrics={serial.measurements}")
+        if not same:
+            print(f"     serial  : ok={serial.ok} violations={serial.violations} "
+                  f"{serial.measurements}")
+            print(f"     loopback: ok={loopback.ok} violations={loopback.violations} "
+                  f"{loopback.measurements} monitors={loopback.provenance}")
+    return ok
+
+
+def check_bit_identity() -> bool:
+    driver = dict(tag="pif", requests_per_process=1,
+                  payload=lambda pid, k: f"m-{pid}-{k}")
+    runs = {}
+    for engine in ("serial", "async"):
+        runs[engine] = execute_trial(
+            16, lambda h: h.register(PifLayer("pif")),
+            topology="clustered:4", seed=0, loss=0.1,
+            driver=driver, horizon=2_000_000, engine=engine,
+        )
+    serial_events = [(e.time, e.kind, e.process, e.data)
+                     for e in runs["serial"].trace]
+    loopback_events = [(e.time, e.kind, e.process, e.data)
+                       for e in runs["async"].trace]
+    hashes = (trace_hash(runs["serial"].trace), trace_hash(runs["async"].trace))
+    same = (
+        serial_events == loopback_events
+        and hashes[0] == hashes[1]
+        and runs["serial"].stats.as_dict() == runs["async"].stats.as_dict()
+        and runs["serial"].final_time == runs["async"].final_time
+        and runs["serial"].completions == runs["async"].completions
+    )
+    print(("OK " if same else "DIVERGED")
+          + f" bit-identity clustered n=16 ({len(serial_events)} trace events, "
+          f"hash {hashes[0][:16]}.. vs {hashes[1][:16]}..)")
+    return same
+
+
+def tcp_smoke() -> bool:
+    """One E3 trial at n=8 over real sockets; every monitor must pass."""
+    driver = dict(tag="pif", requests_per_process=1,
+                  payload=lambda pid, k: f"m-{pid}-{k}")
+    t0 = time.perf_counter()
+    run = execute_trial(
+        8, lambda h: h.register(PifLayer("pif")),
+        seed=0, loss=0.1, driver=driver, horizon=60_000,
+        engine="async", transport="tcp",
+    )
+    wall = time.perf_counter() - t0
+    ok = run.completed and run.monitors_ok
+    print(("OK " if ok else "FAILED")
+          + f" tcp smoke E3 n=8: completed={run.completed} wall={wall:.1f}s "
+          f"final_time={run.final_time} ticks "
+          f"monitors={[r.summary() for r in run.monitor_reports]}")
+    for report in run.monitor_reports:
+        for violation in report.violations[:5]:
+            print(f"     {report.name}: {violation}")
+    return ok
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    ok = True
+    if "--tcp-only" not in args:
+        ok = check_metrics()
+        ok &= check_bit_identity()
+    if "--tcp-smoke" in args or "--tcp-only" in args:
+        ok &= tcp_smoke()
+    print("async-equivalence:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

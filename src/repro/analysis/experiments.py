@@ -267,6 +267,9 @@ def run_topology_matrix(
     engine: str = "serial",
     shards: int | None = None,
     window: int | None = None,
+    transport: str = "loopback",
+    tick: float | None = None,
+    horizon: int | None = None,
     latency: tuple[int, int] = (1, 3),
 ) -> list[dict[str, Any]]:
     """E11: the topology × fault scenario matrix.
@@ -275,8 +278,9 @@ def run_topology_matrix(
     spec and loss rate, checking the topology-generalized specification,
     and returns one aggregate row per scenario.  This is the sweep the
     ``--topology`` axis exists for: every cell must report zero violations.
-    ``engine`` selects the execution backend (``serial``/``sharded``); both
-    produce identical rows for the same seeds.
+    ``engine`` selects the execution backend (``serial``/``sharded``/
+    ``async``); serial, sharded and async-loopback produce identical rows
+    for the same seeds.
     """
     from repro.analysis.runner import run_mutex_trial, run_pif_trial
     from repro.sim.topology import topology_from_spec
@@ -290,6 +294,7 @@ def run_topology_matrix(
     if protocol not in ("pif", "mutex"):
         raise SimulationError(f"unknown matrix protocol {protocol!r}")
     runner = run_pif_trial if protocol == "pif" else run_mutex_trial
+    extra: dict[str, Any] = {} if horizon is None else {"horizon": horizon}
     rows: list[dict[str, Any]] = []
     for spec in topologies:
         # One graph instance per scenario: a seeded random family (gnp)
@@ -307,6 +312,7 @@ def run_topology_matrix(
                     n, seed=seed, loss=loss, topology=top,
                     requests_per_process=1, latency=latency,
                     engine=engine, shards=shards, window=window,
+                    transport=transport, tick=tick, **extra,
                 )
                 ok += 1 if trial.ok else 0
                 violations += trial.violations

@@ -6,16 +6,21 @@ the relevant specification, and returns a flat result dict ready for table
 rendering (experiments E3, E4, E5, E7 of DESIGN.md).
 
 Every trial accepts an ``engine`` axis: ``"serial"`` (one in-process
-scheduler) or ``"sharded"`` (:class:`repro.sim.sharded.ShardedSimulator` —
+scheduler), ``"sharded"`` (:class:`repro.sim.sharded.ShardedSimulator` —
 the topology partitioned across worker processes under the conservative
-time-window protocol).  Both engines execute the *same* trial shape — build,
-scramble, drive requests until served, drain ``DRAIN_TICKS`` — and produce
-bit-identical traces for the same seed, so every specification check and
-measurement below is engine-agnostic.
+time-window protocol) or ``"async"`` (:class:`repro.net.AsyncSimulator` —
+one coroutine per process over a ``loopback`` or ``tcp`` transport, with
+online spec monitors).  All engines execute the *same* trial shape —
+build, scramble, drive requests until served, drain ``DRAIN_TICKS`` — and
+``serial``/``sharded``/``async``+``loopback`` produce bit-identical traces
+for the same seed, so every specification check and measurement below is
+engine-agnostic; ``async``+``tcp`` is wall-clock best-effort and carries
+its correctness in the online monitor verdicts.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -23,13 +28,15 @@ from repro.core.idl import IdlLayer
 from repro.core.mutex import MutexLayer
 from repro.core.pif import PifLayer
 from repro.core.requests import CompletedRequest, RequestDriver
-from repro.errors import SimulationError
+from repro.errors import HorizonExceeded, SimulationError
+from repro.net.engine import AsyncSimulator
+from repro.net.monitors import MonitorReport, default_monitors
 from repro.sim.channel import BernoulliLoss, NoLoss
 from repro.sim.runtime import Simulator
 from repro.sim.sharded import ShardedSimulator
 from repro.sim.stats import SimStats
 from repro.sim.topology import Topology, arbitration_clusters, topology_from_spec
-from repro.sim.trace import Trace
+from repro.sim.trace import EventKind, Trace
 from repro.spec.idl_spec import check_idl
 from repro.spec.mutex_spec import check_mutex
 from repro.spec.pif_spec import check_pif
@@ -75,22 +82,41 @@ def _neighbor_map(run: "EngineRun") -> dict[int, tuple[int, ...]] | None:
 
 @dataclass
 class TrialResult:
-    """Outcome of one trial: verdict plus measurements."""
+    """Outcome of one trial: verdict plus measurements.
+
+    ``measurements`` holds trace-derived quantities only — identical
+    across engines for the same seed, which is what the equivalence gates
+    compare.  Run provenance (which engine/transport executed the trial,
+    its wall-clock cost, online monitor verdicts) lives in ``provenance``
+    so bench artifacts are comparable across engines without perturbing
+    the bit-identity contract.
+    """
 
     params: dict[str, Any]
     ok: bool
     violations: int
     measurements: dict[str, Any] = field(default_factory=dict)
+    provenance: dict[str, Any] = field(default_factory=dict)
 
     def row(self, *keys: str) -> list[Any]:
-        merged = {**self.params, **self.measurements, "ok": self.ok,
-                  "violations": self.violations}
+        merged = {**self.params, **self.measurements, **self.provenance,
+                  "ok": self.ok, "violations": self.violations}
         return [merged.get(k) for k in keys]
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat JSON-ready record (bench artifacts, aggregation)."""
+        return {
+            **self.params,
+            "ok": self.ok,
+            "violations": self.violations,
+            **self.measurements,
+            **self.provenance,
+        }
 
 
 @dataclass
 class EngineRun:
-    """Engine-agnostic outcome of one driven run (either engine)."""
+    """Engine-agnostic outcome of one driven run (any engine)."""
 
     trace: Trace
     stats: SimStats
@@ -101,13 +127,72 @@ class EngineRun:
     final_time: int
     topology: Topology
     pids: tuple[int, ...]
+    #: Run provenance: which backend executed the trial and what it cost.
+    engine: str = "serial"
+    transport: str | None = None
+    wall_clock_s: float = 0.0
+    #: Online monitor verdicts (async engine; empty elsewhere).
+    monitor_reports: list[MonitorReport] = field(default_factory=list)
 
     def latencies(self) -> list[int]:
         return [c.latency for c in self.completions]
 
+    @property
+    def monitors_ok(self) -> bool:
+        return all(r.ok for r in self.monitor_reports)
+
+    def provenance(self) -> dict[str, Any]:
+        """JSON-ready provenance block for bench artifacts."""
+        record: dict[str, Any] = {
+            "engine": self.engine,
+            "transport": self.transport,
+            "wall_clock_s": round(self.wall_clock_s, 4),
+        }
+        if self.monitor_reports:
+            record["monitors_ok"] = self.monitors_ok
+            record["monitors"] = [
+                {"name": r.name, "ok": r.ok, "violations": len(r.violations)}
+                for r in self.monitor_reports
+            ]
+        return record
+
 
 def _loss_model(loss: float):
     return BernoulliLoss(loss) if loss > 0 else NoLoss()
+
+
+def _is_cs_grant(event, tag: str) -> bool:
+    """One arbitration round spent: a critical-section entry of ``tag``."""
+    return event.kind == EventKind.CS_ENTER and event.get("tag") == tag
+
+
+def _count_cs_grants(trace: Trace, tag: str) -> int:
+    return sum(1 for event in trace if _is_cs_grant(event, tag))
+
+
+class _RoundBudgetGuard:
+    """Incremental CS-grant counter over a growing trace.
+
+    ``exceeded`` is evaluated inside the serial engine's stop predicate —
+    after every event — so it scans only the trace suffix appended since
+    the last call (amortized O(1) per event).
+    """
+
+    def __init__(self, trace: Trace, tag: str, budget: int) -> None:
+        self._trace = trace
+        self._tag = tag
+        self.budget = budget
+        self.rounds = 0
+        self._cursor = 0
+
+    def exceeded(self) -> bool:
+        trace = self._trace
+        while self._cursor < len(trace):
+            event = trace[self._cursor]
+            self._cursor += 1
+            if _is_cs_grant(event, self._tag):
+                self.rounds += 1
+        return self.rounds > self.budget
 
 
 def execute_trial(
@@ -125,18 +210,59 @@ def execute_trial(
     engine: str = "serial",
     shards: int | None = None,
     window: int | None = None,
+    transport: str = "loopback",
+    tick: float | None = None,
+    round_budget: int | None = None,
 ) -> EngineRun:
     """Run one driven trial on the selected engine.
 
-    The shape is identical on both engines: build the system, scramble it
+    The shape is identical on every engine: build the system, scramble it
     into an arbitrary initial configuration, let the request driver issue
     and await every request (up to ``horizon``), then drain
-    :data:`DRAIN_TICKS` more ticks.  For the same arguments the two engines
-    return bit-identical traces, stats, finals and completions.
+    :data:`DRAIN_TICKS` more ticks.  ``engine`` selects the backend:
+
+    * ``"serial"`` — one in-process scheduler;
+    * ``"sharded"`` — topology partitioned across worker processes
+      (``shards``/``window``);
+    * ``"async"`` — the asyncio runtime (:mod:`repro.net`); ``transport``
+      selects ``"loopback"`` (deterministic) or ``"tcp"`` (real localhost
+      sockets, ``tick`` seconds per tick), with online spec monitors
+      attached either way.
+
+    ``serial``, ``sharded`` and ``async``+``loopback`` return bit-identical
+    traces, stats, finals and completions for the same arguments; run
+    provenance (engine, transport, wall clock, monitor verdicts) rides on
+    the :class:`EngineRun` without entering the compared state.
+
+    ``round_budget`` (serial only) aborts the run with
+    :class:`~repro.errors.HorizonExceeded` once more than that many
+    critical-section grants were spent without serving every request —
+    the cheap failure mode for slow-converging configurations such as ME
+    on large rings (see docs/engine.md).
     """
     top = _resolve_topology(n, topology, seed)
     scramble_seed = seed ^ 0x5EED
     tag = driver["tag"]
+    if round_budget is not None and engine != "serial":
+        raise SimulationError(
+            f"round_budget requires engine='serial', got {engine!r}"
+        )
+    if engine != "async" and (transport != "loopback" or tick is not None):
+        raise SimulationError(
+            f"transport={transport!r}/tick={tick!r} require engine='async', "
+            f"got {engine!r} (did you forget --engine async?)"
+        )
+    if engine != "sharded" and (shards is not None or window is not None):
+        raise SimulationError(
+            f"shards={shards!r}/window={window!r} require engine='sharded', "
+            f"got {engine!r} (did you forget --engine sharded?)"
+        )
+    if tick is not None and transport != "tcp":
+        raise SimulationError(
+            f"tick={tick!r} requires transport='tcp' (the loopback transport "
+            f"runs virtual time), got transport={transport!r}"
+        )
+    start_clock = time.perf_counter()
     if engine == "serial":
         sim = Simulator(
             n if top is None else None,
@@ -150,7 +276,21 @@ def execute_trial(
         if scramble:
             sim.scramble(seed=scramble_seed)
         drv = RequestDriver(sim, **driver)
-        completed = sim.run(horizon, until=lambda s: drv.done)
+        if round_budget is None:
+            completed = sim.run(horizon, until=lambda s: drv.done)
+        else:
+            guard = _RoundBudgetGuard(sim.trace, tag, round_budget)
+            sim.run(horizon, until=lambda s: drv.done or guard.exceeded())
+            completed = drv.done
+            if not completed and guard.rounds > round_budget:
+                raise HorizonExceeded(
+                    f"round budget of {round_budget} CS grants exhausted "
+                    f"at t={sim.now} before all requests were served",
+                    horizon=horizon,
+                    served=drv.total_completed(),
+                    requested=drv.total_planned(),
+                    rounds=guard.rounds,
+                )
         sim.run(sim.now + DRAIN_TICKS)
         return EngineRun(
             trace=sim.trace,
@@ -161,6 +301,8 @@ def execute_trial(
             final_time=sim.now,
             topology=sim.topology,
             pids=sim.pids,
+            engine=engine,
+            wall_clock_s=time.perf_counter() - start_clock,
         )
     if engine == "sharded":
         sharded = ShardedSimulator(
@@ -189,8 +331,46 @@ def execute_trial(
             final_time=result.final_time,
             topology=sharded.topology,
             pids=sharded.pids,
+            engine=engine,
+            wall_clock_s=time.perf_counter() - start_clock,
         )
-    raise SimulationError(f"unknown engine {engine!r}; expected serial or sharded")
+    if engine == "async":
+        asim = AsyncSimulator(
+            n if top is None else None,
+            build,
+            topology=top,
+            seed=seed,
+            loss=_loss_model(loss),
+            capacity=capacity,
+            latency=latency,
+            transport=transport,
+            **({} if tick is None else {"tick": tick}),
+        )
+        for monitor in default_monitors(tag, asim.topology):
+            asim.attach_monitor(monitor)
+        result = asim.run_trial(
+            horizon=horizon,
+            scramble_seed=scramble_seed if scramble else None,
+            driver=driver,
+            drain=DRAIN_TICKS,
+        )
+        return EngineRun(
+            trace=result.trace,
+            stats=result.stats,
+            finals=result.finals,
+            completions=result.completions,
+            completed=result.completed,
+            final_time=result.final_time,
+            topology=asim.topology,
+            pids=asim.pids,
+            engine=engine,
+            transport=transport,
+            wall_clock_s=time.perf_counter() - start_clock,
+            monitor_reports=result.monitor_reports,
+        )
+    raise SimulationError(
+        f"unknown engine {engine!r}; expected serial, sharded or async"
+    )
 
 
 def run_pif_trial(
@@ -208,6 +388,8 @@ def run_pif_trial(
     engine: str = "serial",
     shards: int | None = None,
     window: int | None = None,
+    transport: str = "loopback",
+    tick: float | None = None,
 ) -> TrialResult:
     """One PIF trial (E3): all processes broadcast; Specification 1 checked."""
     if max_state is None:
@@ -230,9 +412,16 @@ def run_pif_trial(
         engine=engine,
         shards=shards,
         window=window,
+        transport=transport,
+        tick=tick,
     )
     if not run.completed:
-        raise SimulationError(f"PIF trial did not finish within t={horizon}")
+        raise HorizonExceeded(
+            "PIF trial did not finish",
+            horizon=horizon,
+            served=len(run.completions),
+            requested=requests_per_process * n,
+        )
     verdict = check_pif(
         run.trace, "pif", run.pids, final_requests=run.finals,
         neighbors=_neighbor_map(run),
@@ -252,6 +441,7 @@ def run_pif_trial(
             "wave_p95": summarize(durations).p95 if durations else 0,
             "final_time": run.final_time,
         },
+        provenance=run.provenance(),
     )
 
 
@@ -269,6 +459,8 @@ def run_idl_trial(
     engine: str = "serial",
     shards: int | None = None,
     window: int | None = None,
+    transport: str = "loopback",
+    tick: float | None = None,
 ) -> TrialResult:
     """One IDL trial (E4): Specification 2 checked against ground truth."""
 
@@ -289,9 +481,16 @@ def run_idl_trial(
         engine=engine,
         shards=shards,
         window=window,
+        transport=transport,
+        tick=tick,
     )
     if not run.completed:
-        raise SimulationError(f"IDL trial did not finish within t={horizon}")
+        raise HorizonExceeded(
+            "IDL trial did not finish",
+            horizon=horizon,
+            served=len(run.completions),
+            requested=requests_per_process * n,
+        )
     truth = {p: (idents[p] if idents else p) for p in run.pids}
     verdict = check_idl(
         run.trace, "idl", truth, final_requests=run.finals,
@@ -309,6 +508,7 @@ def run_idl_trial(
             "latency_p50": summarize(latencies).p50 if latencies else 0,
             "final_time": run.final_time,
         },
+        provenance=run.provenance(),
     )
 
 
@@ -328,11 +528,23 @@ def run_mutex_trial(
     engine: str = "serial",
     shards: int | None = None,
     window: int | None = None,
+    transport: str = "loopback",
+    tick: float | None = None,
+    round_budget: int | None = None,
 ) -> TrialResult:
     """One ME trial (E5): Specification 3 checked over the full trace.
 
     On a non-complete topology the Correctness check runs per leader
     cluster (the generalized guarantee — see :mod:`repro.core.mutex`).
+
+    ``round_budget`` bounds convergence cost: the trial aborts with
+    :class:`~repro.errors.HorizonExceeded` once more than that many CS
+    grants happened without serving every request.  A completing trial
+    uses about ``(requests_per_process + 1) * n`` grants (measured across
+    topologies — see docs/engine.md), so small multiples of that are
+    generous budgets; the guard exists because per-grant *time* grows
+    steeply with ring size, making the plain horizon an expensive way to
+    detect impractical configurations.
     """
     run = execute_trial(
         n,
@@ -350,9 +562,18 @@ def run_mutex_trial(
         engine=engine,
         shards=shards,
         window=window,
+        transport=transport,
+        tick=tick,
+        round_budget=round_budget,
     )
     if require_completion and not run.completed:
-        raise SimulationError(f"ME trial did not finish within t={horizon}")
+        raise HorizonExceeded(
+            "ME trial did not finish",
+            horizon=horizon,
+            served=len(run.completions),
+            requested=requests_per_process * n,
+            rounds=_count_cs_grants(run.trace, "me"),
+        )
     clusters = (
         None
         if run.topology.is_complete
@@ -378,6 +599,7 @@ def run_mutex_trial(
             "latency_p95": summarize(latencies).p95 if latencies else 0,
             "final_time": run.final_time,
         },
+        provenance=run.provenance(),
     )
 
 

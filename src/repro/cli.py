@@ -25,6 +25,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.errors import HorizonExceeded, SimulationError
 from repro.analysis.ablations import (
     run_flag_ablation,
     run_modulus_ablation,
@@ -82,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--loss", type=float, default=0.1)
         p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
         p.add_argument("--requests", type=int, default=2)
+        if name == "mutex":
+            p.add_argument(
+                "--round-budget", type=int, default=None, metavar="R",
+                help="abort (HorizonExceeded) once more than R CS grants "
+                     "were spent without serving every request — the cheap "
+                     "failure mode for slow-converging rings; a completing "
+                     "trial uses about (requests+1)*n grants (serial engine "
+                     "only, see docs/engine.md)",
+            )
         _add_topology_arg(p)
         _add_engine_args(p)
 
@@ -137,10 +147,18 @@ def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--engine", choices=["serial", "sharded"], default="serial",
-        help="execution backend: one in-process scheduler (serial) or the "
-             "topology partitioned across worker processes (sharded); both "
-             "produce bit-identical results for the same seed",
+        "--horizon", type=int, default=None, metavar="TICKS",
+        help="time budget per trial in ticks (default: the runner's; over "
+             "--transport tcp one tick is --tick seconds of wall time, so "
+             "prefer an explicit budget there)",
+    )
+    parser.add_argument(
+        "--engine", choices=["serial", "sharded", "async"], default="serial",
+        help="execution backend: one in-process scheduler (serial), the "
+             "topology partitioned across worker processes (sharded), or the "
+             "asyncio runtime with one coroutine per process (async); serial, "
+             "sharded and async --transport loopback produce bit-identical "
+             "results for the same seed",
     )
     parser.add_argument(
         "--shards", type=int, default=None, metavar="N",
@@ -151,6 +169,18 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         "--window", type=int, default=None, metavar="W",
         help="time-window size (ticks) for --engine sharded; must not exceed "
              "the latency lower bound (default: exactly that bound)",
+    )
+    parser.add_argument(
+        "--transport", choices=["loopback", "tcp"], default="loopback",
+        help="channel medium for --engine async: in-process asyncio queues "
+             "(loopback, deterministic) or real localhost TCP sockets (tcp, "
+             "wall-clock best-effort, spec-checked by online monitors)",
+    )
+    parser.add_argument(
+        "--tick", type=float, default=None, metavar="SECONDS",
+        help="wall-clock length of one tick for --transport tcp "
+             "(default 0.001); latency bounds are in ticks, so the default "
+             "emulates a 1-3 ms link",
     )
     parser.add_argument(
         "--latency", type=int, nargs=2, default=(1, 3), metavar=("LO", "HI"),
@@ -179,21 +209,29 @@ def _cmd_impossibility(args) -> str:
 
 
 def _cmd_trials(args, runner, title: str) -> str:
-    trials = [
-        runner(args.n, seed=s, loss=args.loss,
-               requests_per_process=args.requests,
-               topology=args.topology, latency=tuple(args.latency),
-               engine=args.engine, shards=args.shards, window=args.window)
-        for s in args.seeds
-    ]
+    kwargs = dict(
+        loss=args.loss,
+        requests_per_process=args.requests,
+        topology=args.topology, latency=tuple(args.latency),
+        engine=args.engine, shards=args.shards, window=args.window,
+        transport=args.transport, tick=args.tick,
+    )
+    if args.horizon is not None:
+        kwargs["horizon"] = args.horizon
+    if getattr(args, "round_budget", None) is not None:
+        kwargs["round_budget"] = args.round_budget
+    trials = [runner(args.n, seed=s, **kwargs) for s in args.seeds]
     keys = ["n", "topology", "engine", "seed", "loss", "ok", "violations"]
     extra = sorted(
         k for k in trials[0].measurements if isinstance(
             trials[0].measurements[k], (int, float, bool))
     )
+    prov = ["wall_clock_s"]
+    if args.engine == "async":
+        prov += ["transport", "monitors_ok"]
     return render_table(
-        keys + extra,
-        [t.row(*(keys + extra)) for t in trials],
+        keys + extra + prov,
+        [t.row(*(keys + extra + prov)) for t in trials],
         title=title,
     )
 
@@ -259,6 +297,7 @@ def _cmd_matrix(args) -> str:
         n=args.n, topologies=args.topologies, losses=args.losses,
         seeds=args.seeds, protocol=args.protocol,
         engine=args.engine, shards=args.shards, window=args.window,
+        transport=args.transport, tick=args.tick, horizon=args.horizon,
         latency=tuple(args.latency),
     )
     return render_table(
@@ -293,6 +332,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         print("\n".join(_EXPERIMENTS))
         return 0
+    try:
+        return _dispatch(args)
+    except HorizonExceeded as exc:
+        print(f"horizon exceeded: {exc}", file=sys.stderr)
+        return 1
+    except SimulationError as exc:
+        # Engine-axis misuse (--shards without --engine sharded, --tick
+        # without --transport tcp, ...) carries an actionable message; a
+        # one-liner beats a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
     if args.command == "figure1":
         output = _cmd_figure1(args)
     elif args.command == "impossibility":

@@ -147,5 +147,13 @@ class RequestDriver:
     def total_completed(self) -> int:
         return sum(len(s.completed) for s in self._per_process.values())
 
+    def total_planned(self) -> int:
+        """Total requests this driver will issue over its lifetime
+        (completed + outstanding + not yet issued)."""
+        return sum(
+            len(s.completed) + s.remaining + (1 if s.issued_at is not None else 0)
+            for s in self._per_process.values()
+        )
+
     def latencies(self) -> list[int]:
         return [r.latency for r in self.completed()]

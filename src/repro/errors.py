@@ -27,6 +27,36 @@ class ConfigurationError(SimulationError):
     """A global configuration could not be captured or restored."""
 
 
+class HorizonExceeded(SimulationError):
+    """A driven trial did not complete within its time budget.
+
+    Carries the partial progress so callers (and CI logs) can tell a
+    genuinely stuck system from one that merely needs a bigger budget —
+    e.g. ME on large rings, whose per-round cost grows with the ring
+    diameter (see docs/engine.md).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        horizon: int,
+        served: int | None = None,
+        requested: int | None = None,
+        rounds: int | None = None,
+    ) -> None:
+        parts = [message, f"horizon={horizon}"]
+        if served is not None and requested is not None:
+            parts.append(f"served {served}/{requested} requests")
+        if rounds is not None:
+            parts.append(f"{rounds} arbitration rounds granted")
+        super().__init__("; ".join(parts))
+        self.horizon = horizon
+        self.served = served
+        self.requested = requested
+        self.rounds = rounds
+
+
 class ProtocolError(ReproError):
     """A protocol layer was misused (bad wiring, bad request sequence)."""
 

@@ -1,0 +1,58 @@
+"""repro.net — the asyncio socket-backed runtime.
+
+Runs the paper's protocol layers, unmodified, over real transports:
+
+* :mod:`repro.net.engine` — :class:`AsyncSimulator`: one coroutine per
+  process, one transport per channel, trial loop on an asyncio event loop.
+* :mod:`repro.net.clock` — the deterministic :class:`VirtualClock`
+  (loopback bit-identity with ``engine=serial``) and the wall-clock
+  :class:`PacedClock` (tcp best-effort pacing).
+* :mod:`repro.net.transport` — loopback queues and the localhost TCP
+  fabric, both under sender-owned channel accounting.
+* :mod:`repro.net.wire` — the length-prefixed frame format.
+* :mod:`repro.net.monitors` — online specification monitors over the
+  live trace.
+
+See ``docs/async.md`` for the transport protocol and the determinism
+argument.
+"""
+
+from repro.net.clock import PacedClock, VirtualClock
+from repro.net.engine import (
+    DEFAULT_TICK_SECONDS,
+    AsyncSimulator,
+    NetRunResult,
+    ProcessActor,
+    TRANSPORTS,
+)
+from repro.net.monitors import (
+    LiveTrace,
+    MonitorReport,
+    MutexExclusionMonitor,
+    OnlineMonitor,
+    PifWaveMonitor,
+    RequestLivenessMonitor,
+    default_monitors,
+)
+from repro.net.transport import LoopbackTransport, TcpFabric, TcpTransport, Transport
+
+__all__ = [
+    "AsyncSimulator",
+    "NetRunResult",
+    "ProcessActor",
+    "TRANSPORTS",
+    "DEFAULT_TICK_SECONDS",
+    "VirtualClock",
+    "PacedClock",
+    "Transport",
+    "LoopbackTransport",
+    "TcpTransport",
+    "TcpFabric",
+    "LiveTrace",
+    "OnlineMonitor",
+    "MonitorReport",
+    "RequestLivenessMonitor",
+    "PifWaveMonitor",
+    "MutexExclusionMonitor",
+    "default_monitors",
+]

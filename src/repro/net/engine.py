@@ -1,0 +1,366 @@
+"""The asyncio runtime: protocol layers, unmodified, over real transports.
+
+:class:`AsyncSimulator` runs the same build/scramble/drive trial shape as
+the serial and sharded engines, but executes it on an asyncio event loop:
+
+* **each process is a coroutine** (:class:`ProcessActor`) — every event a
+  process owns (its activations, its timers, the dispatch of messages
+  addressed to it) executes inside that process's coroutine, fed through
+  its inbox queue;
+* **each channel is a transport** (:mod:`repro.net.transport`) — loopback
+  asyncio queues or real localhost TCP sockets carrying the
+  length-prefixed wire format of :mod:`repro.net.wire`;
+* **specs run online** — the engine's trace is a
+  :class:`~repro.net.monitors.LiveTrace`; attached monitor automata advance
+  at every emission.
+
+Protocol layers need no changes: :class:`~repro.sim.process.ProcessHost`
+is reused as the adapter between the layers' guarded-action /
+``on_message`` / timer API and the coroutine world — the host's sends,
+timers and busy windows land on the engine exactly as they do on the
+serial simulator, and the engine turns them into transport traffic and
+clock events.
+
+Determinism: in ``transport="loopback"`` mode the engine is driven by a
+:class:`~repro.net.clock.VirtualClock` and inherits the serial engine's
+entire decision surface — per-entity RNG streams, canonical event keys,
+sender-owned channel accounting (:mod:`repro.sim.determinism`).  The drive
+loop awaits each routed event before popping the next, so the execution
+order is the serial order and a loopback run is **bit-identical** to
+``engine=serial`` for the same seed (asserted by ``tests/test_net.py`` and
+the ``async-equivalence`` CI gate).  In ``transport="tcp"`` mode timing is
+wall-clock best-effort — socket scheduling is not reproducible — and the
+online monitors carry the correctness claim instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Coroutine, Sequence
+
+from repro.core.requests import CompletedRequest, RequestDriver
+from repro.errors import SimulationError
+from repro.net.clock import PacedClock, VirtualClock
+from repro.net.monitors import LiveTrace, MonitorReport, OnlineMonitor
+from repro.net.transport import LoopbackTransport, TcpFabric, TcpTransport, Transport
+from repro.sim.adversary import scramble_system
+from repro.sim.channel import ChannelBase
+from repro.sim.determinism import key_owner
+from repro.sim.runtime import BuildFn, Simulator
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Trace
+from repro.types import RequestState
+
+__all__ = ["AsyncSimulator", "NetRunResult", "ProcessActor", "TRANSPORTS"]
+
+TRANSPORTS = ("loopback", "tcp")
+
+#: Default wall-clock tick length for the tcp transport: 1 ms, so the
+#: default (1, 3)-tick latency band emulates a 1-3 ms link — an order of
+#: magnitude above localhost TCP jitter, keeping tick timestamps meaningful.
+DEFAULT_TICK_SECONDS = 0.001
+
+
+@dataclass
+class NetRunResult:
+    """Everything a trial needs back from an async run."""
+
+    trace: Trace
+    stats: Any
+    #: Driver-tag request state per pid at the final horizon.
+    finals: dict[int, RequestState]
+    completions: list[CompletedRequest]
+    completed: bool
+    #: Tick at which the request driver went idle (None if it never did).
+    done_at: int | None
+    final_time: int
+    transport: str
+    monitor_reports: list[MonitorReport] = field(default_factory=list)
+
+    @property
+    def monitors_ok(self) -> bool:
+        return all(r.ok for r in self.monitor_reports)
+
+
+class ProcessActor:
+    """One process as a coroutine: executes every event its pid owns.
+
+    The inbox is an asyncio queue of ``(callback, future)`` pairs.  Clock-
+    routed events carry a future the drive loop awaits (sequential, which
+    is what preserves determinism under the virtual clock); transport
+    arrivals over tcp are fire-and-forget (``future=None``) — their
+    failures are reported to the engine's error sink instead of a waiter.
+    """
+
+    __slots__ = ("pid", "inbox", "task", "_error_sink")
+
+    def __init__(self, pid: int, error_sink: list[BaseException]) -> None:
+        self.pid = pid
+        self.inbox: asyncio.Queue[
+            tuple[Callable[[], None] | None, asyncio.Future | None]
+        ] = asyncio.Queue()
+        self.task: asyncio.Task | None = None
+        self._error_sink = error_sink
+
+    def start(self) -> None:
+        self.task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"proc-{self.pid}"
+        )
+
+    async def _run(self) -> None:
+        while True:
+            fn, fut = await self.inbox.get()
+            if fn is None:
+                if fut is not None:
+                    fut.set_result(None)
+                return
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiter/sink
+                if fut is not None and not fut.cancelled():
+                    fut.set_exception(exc)
+                else:
+                    self._error_sink.append(exc)
+            else:
+                if fut is not None and not fut.cancelled():
+                    fut.set_result(None)
+
+    async def execute(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` inside this process's coroutine and await completion."""
+        fut = asyncio.get_running_loop().create_future()
+        self.inbox.put_nowait((fn, fut))
+        await fut
+
+    def post(self, fn: Callable[[], None]) -> None:
+        """Queue ``fn`` without waiting (transport arrival path)."""
+        self.inbox.put_nowait((fn, None))
+
+    async def stop(self) -> None:
+        fut = asyncio.get_running_loop().create_future()
+        self.inbox.put_nowait((None, fut))
+        await fut
+        if self.task is not None:
+            await self.task
+
+
+class AsyncSimulator(Simulator):
+    """Asyncio-driven runtime behind the ``engine=async`` axis.
+
+    Constructor arguments mirror :class:`~repro.sim.runtime.Simulator`;
+    ``transport`` selects the channel medium (``"loopback"`` or ``"tcp"``)
+    and ``tick`` the wall-clock tick length for tcp.  ``monitors`` attach
+    online spec automata to the live trace.
+    """
+
+    def __init__(
+        self,
+        pids: Sequence[int] | int | None = None,
+        build: BuildFn = lambda host: None,
+        *,
+        transport: str = "loopback",
+        tick: float = DEFAULT_TICK_SECONDS,
+        monitors: Sequence[OnlineMonitor] | None = None,
+        **sim_kwargs: Any,
+    ) -> None:
+        if transport not in TRANSPORTS:
+            raise SimulationError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
+        for reserved in ("auto", "hosts_for"):
+            if reserved in sim_kwargs:
+                raise SimulationError(
+                    f"{reserved!r} is not configurable on the async engine"
+                )
+        self.transport = transport
+        self.tick = tick
+        # Read by _make_scheduler/_make_trace during super().__init__.
+        self._transports: dict[tuple[int, int], Transport] = {}
+        self._actors: dict[int, ProcessActor] = {}
+        self._net_errors: list[BaseException] = []
+        self._tasks: set[asyncio.Task] = set()
+        self._fabric: TcpFabric | None = None
+        self._consumed = False
+        super().__init__(pids, build, **sim_kwargs)
+        self.monitors: list[OnlineMonitor] = list(monitors or ())
+        for monitor in self.monitors:
+            self.trace.attach(monitor)
+
+    # -- engine extension points (see Simulator) ---------------------------
+
+    def _make_scheduler(self) -> Scheduler:
+        if self.transport == "loopback":
+            return VirtualClock()
+        return PacedClock(self.tick)
+
+    def _make_trace(self) -> LiveTrace:
+        return LiveTrace()
+
+    def attach_monitor(self, monitor: OnlineMonitor) -> None:
+        self.monitors.append(monitor)
+        self.trace.attach(monitor)
+
+    # -- transport plumbing ------------------------------------------------
+
+    def _schedule_delivery(self, channel: ChannelBase, entry) -> None:
+        pair = (channel.src, channel.dst)
+        transport = self._transports.get(pair)
+        if transport is None:
+            if self.transport == "loopback":
+                transport = LoopbackTransport(self, channel)
+            else:
+                if self._fabric is None:
+                    raise SimulationError(
+                        "tcp transport used outside run_trial (no socket fabric)"
+                    )
+                transport = TcpTransport(self, channel, self._fabric)
+            self._transports[pair] = transport
+        transport.send(entry)
+
+    def _spawn(self, coro: Coroutine, *, name: str) -> asyncio.Task:
+        """Track a transport I/O task; its failure fails the trial."""
+        task = asyncio.get_running_loop().create_task(coro, name=name)
+        self._tasks.add(task)
+        task.add_done_callback(self._task_done)
+        return task
+
+    def _task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self._net_errors.append(exc)
+
+    def _net_error(self, exc: BaseException) -> None:
+        self._net_errors.append(exc)
+
+    def _tcp_arrival(self, src: int, dst: int, msg, entry_seq: int) -> None:
+        """A frame arrived for ``dst``: dispatch inside its coroutine."""
+        self.scheduler.touch()  # arrival timestamps/busy checks read wall time
+        actor = self._actors[dst]
+        actor.post(lambda: self._dispatch_arrival(src, dst, msg, entry_seq))
+
+    async def _route(self, key: int, fn: Callable[[], None]) -> None:
+        """Execute one clock event — inside the owning process coroutine
+        when the canonical key names one, inline (driver/harness) otherwise."""
+        actor = self._actors.get(key_owner(key))
+        if actor is None:
+            fn()
+        else:
+            await actor.execute(fn)
+
+    def _raise_net_errors(self) -> None:
+        if self._net_errors:
+            first = self._net_errors[0]
+            raise SimulationError(
+                f"{len(self._net_errors)} transport failure(s); first: "
+                f"{type(first).__name__}: {first}"
+            ) from first
+
+    # -- the trial loop ----------------------------------------------------
+
+    def run_trial(
+        self,
+        *,
+        horizon: int,
+        scramble_seed: int | None = None,
+        fill_channels: bool = True,
+        driver: dict[str, Any] | None = None,
+        drain: int = 200,
+    ) -> NetRunResult:
+        """Scramble, serve the request driver, drain — on the event loop.
+
+        Matches the serial trial shape tick for tick: run until the driver
+        is done (or ``horizon``), then run ``drain`` more ticks.  Must be
+        called from synchronous code (it owns the event loop for the run).
+
+        Single-use: teardown closes the transports (and, over tcp, the
+        socket fabric), so a second call on the same engine would send
+        into dead channels — build a fresh engine per trial.
+        """
+        if self._consumed:
+            raise SimulationError(
+                "AsyncSimulator.run_trial is single-use (transports are torn "
+                "down at trial end); build a new engine per trial"
+            )
+        self._consumed = True
+        return asyncio.run(
+            self._run_trial(horizon, scramble_seed, fill_channels, driver, drain)
+        )
+
+    async def _run_trial(
+        self,
+        horizon: int,
+        scramble_seed: int | None,
+        fill_channels: bool,
+        driver: dict[str, Any] | None,
+        drain: int,
+    ) -> NetRunResult:
+        self._actors = {
+            pid: ProcessActor(pid, self._net_errors) for pid in self.hosts
+        }
+        for actor in self._actors.values():
+            actor.start()
+        clock = self.scheduler
+        try:
+            if self.transport == "tcp":
+                self._fabric = TcpFabric(self)
+                await self._fabric.start()
+                assert isinstance(clock, PacedClock)
+                clock.start()  # tick 0 excludes connection setup
+            if scramble_seed is not None:
+                scramble_system(self, scramble_seed, fill_channels=fill_channels)
+            drv = RequestDriver(self, **driver) if driver is not None else None
+            # The stop predicate also watches the transport error sink, so a
+            # dead pump/writer fails the trial at the next event instead of
+            # silently idling out the (wall-clock-paced, over tcp) horizon.
+            # Loopback never populates the sink mid-run, so the extra term
+            # cannot perturb bit-identity with the serial engine.
+            errors = self._net_errors
+            if drv is not None:
+                stop = lambda: drv.done or bool(errors)  # noqa: E731
+            else:
+                stop = lambda: bool(errors)  # noqa: E731
+            completed = await clock.drive(horizon, self._route, stop=stop)
+            self._raise_net_errors()
+            completed = completed and (drv is None or drv.done)
+            done_at = self.now if completed else None
+            await clock.drive(self.now + drain, self._route)
+            self._raise_net_errors()
+            tag = driver["tag"] if driver is not None else None
+            finals = (
+                {pid: self.layer(pid, tag).request for pid in self.pids}
+                if tag is not None
+                else {}
+            )
+            return NetRunResult(
+                trace=self.trace,
+                stats=self.stats,
+                finals=finals,
+                completions=drv.completed() if drv is not None else [],
+                completed=completed,
+                done_at=done_at,
+                final_time=self.now,
+                transport=self.transport,
+                monitor_reports=[m.report() for m in self.monitors],
+            )
+        finally:
+            await self._teardown()
+
+    async def _teardown(self) -> None:
+        for transport in self._transports.values():
+            transport.close()
+        for actor in self._actors.values():
+            try:
+                await asyncio.wait_for(actor.stop(), timeout=5)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                if actor.task is not None:
+                    actor.task.cancel()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self._fabric is not None:
+            await self._fabric.close()
+            self._fabric = None

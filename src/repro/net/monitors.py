@@ -1,0 +1,321 @@
+"""Online specification monitors over a live trace.
+
+The offline checkers in :mod:`repro.spec` evaluate a *finished* trace.  Over
+a real transport the trace materializes as the system runs, so the async
+runtime follows the automata-as-monitor approach instead: a
+:class:`LiveTrace` notifies a set of :class:`OnlineMonitor` automata at
+every emission, each monitor advances its state machine per event, and
+safety violations are recorded *at the event that commits them* (a decide
+with a missing acknowledgment, a second concurrent critical section).
+Liveness residues — a request never answered, a started wave never decided
+— are judged at :meth:`OnlineMonitor.report` time, once the trial's drain
+window has closed.
+
+The monitors mirror the offline Specifications (1 and 3) on purpose; for
+deterministic transports the offline checkers remain the authority (the
+trial runners still invoke them), and the monitor verdicts ride along as
+provenance.  Over ``tcp`` — where timing is best-effort and a run is not
+reproducible — the monitors *are* the correctness instrument.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Collection, Mapping, Sequence
+
+from repro.sim.trace import EventKind, Trace, TraceEvent
+
+__all__ = [
+    "MonitorReport",
+    "OnlineMonitor",
+    "LiveTrace",
+    "RequestLivenessMonitor",
+    "PifWaveMonitor",
+    "MutexExclusionMonitor",
+    "default_monitors",
+]
+
+
+@dataclass
+class MonitorReport:
+    """Final verdict of one online monitor."""
+
+    name: str
+    ok: bool
+    violations: list[str]
+    info: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        state = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"{self.name}: {state}"
+
+
+class OnlineMonitor(abc.ABC):
+    """One property automaton fed every trace event as it is emitted."""
+
+    name: str = "monitor"
+
+    @abc.abstractmethod
+    def observe(self, event: TraceEvent) -> None:
+        """Advance on one event (called synchronously from ``Trace.emit``)."""
+
+    @abc.abstractmethod
+    def report(self) -> MonitorReport:
+        """Final verdict, including end-of-run liveness residues."""
+
+
+class LiveTrace(Trace):
+    """A trace that feeds every emitted event to the attached monitors.
+
+    Emission content and order are identical to the base :class:`Trace`
+    (observers only *read* events), so substituting a ``LiveTrace`` never
+    perturbs bit-identity with the serial engine.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.observers: list[OnlineMonitor] = []
+
+    def attach(self, monitor: OnlineMonitor) -> None:
+        self.observers.append(monitor)
+
+    def emit(self, time: int, kind: str, process: int | None, **data: Any) -> TraceEvent:
+        event = super().emit(time, kind, process, **data)
+        for observer in self.observers:
+            observer.observe(event)
+        return event
+
+
+class RequestLivenessMonitor(OnlineMonitor):
+    """Start/Termination residue: every request is eventually decided.
+
+    Applies to all three protocol instances (their request variables share
+    the REQUEST/DECIDE lifecycle); violations can only be judged once the
+    run is over, so they surface in :meth:`report`.
+    """
+
+    def __init__(self, tag: str) -> None:
+        self.name = f"liveness[{tag}]"
+        self.tag = tag
+        self._pending: dict[int, int] = {}
+        self._served = 0
+
+    def observe(self, event: TraceEvent) -> None:
+        if event.get("tag") != self.tag or event.process is None:
+            return
+        if event.kind == EventKind.REQUEST:
+            self._pending.setdefault(event.process, event.time)
+        elif event.kind == EventKind.DECIDE:
+            if self._pending.pop(event.process, None) is not None:
+                self._served += 1
+
+    def report(self) -> MonitorReport:
+        violations = [
+            f"request at p{pid} (t={t}) never decided"
+            for pid, t in sorted(self._pending.items())
+        ]
+        return MonitorReport(
+            self.name, not violations, violations, {"served": self._served}
+        )
+
+
+class _WaveState:
+    __slots__ = ("initiator", "payload", "start_time", "decided", "brd_ok",
+                 "bad_payloads", "fck_counts")
+
+    def __init__(self, initiator: int, payload: Any, start_time: int) -> None:
+        self.initiator = initiator
+        self.payload = payload
+        self.start_time = start_time
+        self.decided = False
+        self.brd_ok: set[int] = set()
+        self.bad_payloads: list[str] = []
+        self.fck_counts: dict[int, int] = {}
+
+
+class PifWaveMonitor(OnlineMonitor):
+    """Specification 1 (Correctness/Decision) as an online automaton.
+
+    Tracks every started wave; at its DECIDE event checks that every
+    reachable peer generated receive-brd with the broadcast payload and
+    that the initiator counted exactly one acknowledgment per peer.
+    Receive events outside the wave's [start, decide] window — stale
+    acknowledgments of an already-decided wave — are violations the moment
+    they happen.
+    """
+
+    def __init__(
+        self,
+        tag: str,
+        pids: Sequence[int],
+        neighbors: Mapping[int, Sequence[int]] | None = None,
+    ) -> None:
+        self.name = f"pif[{tag}]"
+        self.tag = tag
+        self.pids = tuple(pids)
+        self.neighbors = neighbors
+        self.violations: list[str] = []
+        self._waves: dict[tuple[int, int], _WaveState] = {}
+        self._decided = 0
+
+    def _others(self, initiator: int) -> tuple[int, ...]:
+        if self.neighbors is not None:
+            return tuple(self.neighbors[initiator])
+        return tuple(q for q in self.pids if q != initiator)
+
+    def observe(self, event: TraceEvent) -> None:
+        if event.get("tag") != self.tag:
+            return
+        kind = event.kind
+        if kind == EventKind.START and "wave" in event.data:
+            self._waves[event["wave"]] = _WaveState(
+                event.process, event.get("payload"), event.time  # type: ignore[arg-type]
+            )
+        elif kind == EventKind.RECEIVE_BRD:
+            wave = self._waves.get(event.get("wave"))
+            if wave is None or wave.decided or event.get("sender") != wave.initiator:
+                return  # garbage or out-of-window broadcast: never counts
+            if event.get("payload") == wave.payload:
+                wave.brd_ok.add(event.process)  # type: ignore[arg-type]
+            else:
+                wave.bad_payloads.append(
+                    f"p{event.process} received corrupted payload "
+                    f"{event.get('payload')!r} != {wave.payload!r}"
+                )
+        elif kind == EventKind.RECEIVE_FCK:
+            wid = event.get("wave")
+            wave = self._waves.get(wid)
+            if wave is None:
+                return
+            if wave.decided:
+                self.violations.append(
+                    f"acknowledgment from {event.get('sender')} at t={event.time} "
+                    f"arrived after wave {wid} decided"
+                )
+                return
+            sender = event.get("sender")
+            count = wave.fck_counts.get(sender, 0) + 1
+            wave.fck_counts[sender] = count
+            if count > 1:
+                self.violations.append(
+                    f"{count} acknowledgments from {sender} counted for wave {wid}"
+                )
+        elif kind == EventKind.DECIDE and "wave" in event.data:
+            wave = self._waves.get(event["wave"])
+            if wave is None or wave.decided:
+                return
+            wave.decided = True
+            self._decided += 1
+            others = self._others(wave.initiator)
+            self.violations.extend(wave.bad_payloads)
+            for q in others:
+                if q not in wave.brd_ok:
+                    self.violations.append(
+                        f"p{q} never received broadcast of wave {event['wave']} "
+                        f"(payload {wave.payload!r})"
+                    )
+                if wave.fck_counts.get(q, 0) == 0:
+                    self.violations.append(
+                        f"initiator never received acknowledgment from {q} "
+                        f"for wave {event['wave']}"
+                    )
+
+    def report(self) -> MonitorReport:
+        violations = list(self.violations)
+        for wid, wave in sorted(self._waves.items()):
+            if not wave.decided:
+                violations.append(
+                    f"wave {wid} started at t={wave.start_time} never decided"
+                )
+        return MonitorReport(
+            self.name,
+            not violations,
+            violations,
+            {"waves_started": len(self._waves), "waves_decided": self._decided},
+        )
+
+
+class MutexExclusionMonitor(OnlineMonitor):
+    """Specification 3 Correctness: requested critical sections are alone.
+
+    Maintains the set of current occupants; a CS entry that overlaps a
+    conflicting occupancy (same arbitration cluster, at least one side a
+    genuinely requested CS — the footnote-1 reading) is flagged at the
+    moment of entry.
+    """
+
+    def __init__(
+        self, tag: str, clusters: Sequence[Collection[int]] | None = None
+    ) -> None:
+        self.name = f"mutex[{tag}]"
+        self.tag = tag
+        self._cluster_sets = (
+            None if clusters is None else [frozenset(c) for c in clusters]
+        )
+        self._occupants: dict[int, tuple[int, bool]] = {}
+        self.violations: list[str] = []
+        self._cs_count = 0
+
+    def _conflict(self, p: int, q: int) -> bool:
+        if self._cluster_sets is None:
+            return True
+        return any(p in c and q in c for c in self._cluster_sets)
+
+    def observe(self, event: TraceEvent) -> None:
+        if event.get("tag") != self.tag or event.process is None:
+            return
+        pid = event.process
+        if event.kind == EventKind.CS_ENTER:
+            requested = bool(event.get("requested", True))
+            for other, (enter, other_requested) in self._occupants.items():
+                if (
+                    other != pid
+                    and (requested or other_requested)
+                    and self._conflict(pid, other)
+                ):
+                    self.violations.append(
+                        f"critical sections overlap at t={event.time}: "
+                        f"p{pid} (requested={requested}) entered while "
+                        f"p{other} (requested={other_requested}, since t={enter}) "
+                        f"is inside"
+                    )
+            self._occupants[pid] = (event.time, requested)
+            self._cs_count += 1
+        elif event.kind == EventKind.CS_EXIT:
+            self._occupants.pop(pid, None)
+
+    def report(self) -> MonitorReport:
+        return MonitorReport(
+            self.name,
+            not self.violations,
+            list(self.violations),
+            {"cs_count": self._cs_count},
+        )
+
+
+def default_monitors(tag: str, topology) -> list[OnlineMonitor]:
+    """The monitor suite for a driver tag on a given topology.
+
+    Keyed on the conventional instance tags used throughout the trials
+    (``pif``, ``idl``, ``me``); unknown tags get the generic request
+    liveness automaton only.
+    """
+    monitors: list[OnlineMonitor] = [RequestLivenessMonitor(tag)]
+    if tag == "pif":
+        neighbors = (
+            None
+            if topology.is_complete
+            else {p: topology.neighbors(p) for p in topology.pids}
+        )
+        monitors.append(PifWaveMonitor(tag, topology.pids, neighbors))
+    elif tag == "me":
+        from repro.sim.topology import arbitration_clusters
+
+        clusters = (
+            None
+            if topology.is_complete
+            else list(arbitration_clusters(topology).values())
+        )
+        monitors.append(MutexExclusionMonitor(tag, clusters))
+    return monitors

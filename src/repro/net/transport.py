@@ -1,0 +1,214 @@
+"""Channel transports for the asyncio runtime.
+
+A *transport* carries one directed channel ``src -> dst``.  Whatever the
+medium, the paper's Section 4 channel semantics are enforced on the
+**sender's side** — the invariant inherited from the sharded engine's
+sender-owned accounting (:mod:`repro.sim.sharded`):
+
+* *admission* — the sender's :class:`~repro.sim.channel.BoundedChannel`
+  copy holds the capacity slots; a send into a full channel is dropped
+  before it ever reaches the medium (``AsyncSimulator.transmit``, shared
+  with the serial engine);
+* *loss / corruption* — drawn from the channel's own random stream at the
+  transport boundary, also before the medium;
+* *latency* — drawn from the same stream at send time; the slot frees
+  when the message leaves the channel (loopback: exactly at the drawn
+  delivery time; tcp: when the frame is on the wire — admission order, no
+  earlier than the drawn tick, but a cross-tag head-of-line wait can push
+  it later), and busy receivers defer only the dispatch.
+
+Two media:
+
+* :class:`LoopbackTransport` — the message never leaves the process: its
+  delivery is posted to the engine's clock under the canonical delivery
+  key and travels through the receiving coroutine's asyncio queue.  Under
+  the :class:`~repro.net.clock.VirtualClock` this reproduces the serial
+  engine's delivery schedule *exactly* (same stream, same draw, same FIFO
+  clamp, same key), which is the transport half of the loopback
+  bit-identity guarantee.
+* :class:`TcpTransport` — the message crosses a real localhost TCP socket
+  (:class:`TcpFabric`) as a length-prefixed frame (:mod:`repro.net.wire`).
+  A per-channel writer coroutine ships frames in admission order, each no
+  earlier than its drawn delivery tick, so per-tag FIFO survives on the
+  wire; the receiving fabric dispatches frames into the destination
+  coroutine as they arrive.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+from functools import partial
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.net import wire
+from repro.sim.channel import ChannelBase, _Entry
+from repro.sim.runtime import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.engine import AsyncSimulator
+
+__all__ = ["Transport", "LoopbackTransport", "TcpTransport", "TcpFabric"]
+
+
+class Transport(abc.ABC):
+    """Delivery mechanism of one directed channel."""
+
+    def __init__(self, engine: "AsyncSimulator", channel: ChannelBase) -> None:
+        self.engine = engine
+        self.channel = channel
+
+    @abc.abstractmethod
+    def send(self, entry: _Entry) -> None:
+        """Carry an admitted channel entry toward the destination."""
+
+    def close(self) -> None:
+        """Release transport resources (called at trial teardown)."""
+
+
+class LoopbackTransport(Transport):
+    """In-process transport: deliveries travel through asyncio queues."""
+
+    def send(self, entry: _Entry) -> None:
+        # Delegate to the serial engine's scheduling — the latency draw,
+        # FIFO clamp and canonical delivery key are determinism-critical
+        # and must stay single-sourced (the explicit base-class call is
+        # what breaks the override recursion; every pid is hosted here, so
+        # the cross-shard branch is dead).  The clock then routes the
+        # posted delivery into the destination coroutine's inbox queue —
+        # the "loopback medium" — at the canonical position.
+        Simulator._schedule_delivery(self.engine, self.channel, entry)
+
+
+class TcpTransport(Transport):
+    """Socket transport: frames cross a real localhost TCP connection."""
+
+    def __init__(
+        self, engine: "AsyncSimulator", channel: ChannelBase, fabric: "TcpFabric"
+    ) -> None:
+        super().__init__(engine, channel)
+        self.fabric = fabric
+        # The channel's own stream, bound once (the same caching the
+        # serial engine keeps in ``Simulator._chan_fast``): the emulated
+        # link latency comes from the same per-channel draws.
+        self._randint = engine.chan_rng(channel.src, channel.dst).randint
+        self._outbox: asyncio.Queue[_Entry | None] = asyncio.Queue()
+        self._writer_task = engine._spawn(
+            self._writer_loop(), name=f"ship-{channel.src}-{channel.dst}"
+        )
+
+    def send(self, entry: _Entry) -> None:
+        # Anchor the latency draw at the *wall* tick: sends triggered by
+        # frame arrivals can run while the drive loop is behind on clock
+        # events, and a stale ``_now`` would propose delivery times in the
+        # past (zero effective link latency — see PacedClock.touch).
+        self.engine.scheduler.touch()
+        self.engine.draw_delivery_time(self.channel, entry, self._randint)
+        self._outbox.put_nowait(entry)
+
+    async def _writer_loop(self) -> None:
+        """Ship admitted entries in admission order, each no earlier than
+        its drawn delivery tick (a cross-tag head-of-line wait can push a
+        frame past its own tick); the slot frees when the frame is on the
+        wire."""
+        clock = self.engine.scheduler
+        writer = self.fabric.writer(self.channel.src, self.channel.dst)
+        while True:
+            entry = await self._outbox.get()
+            if entry is None:
+                return
+            assert entry.delivery_time is not None
+            delay = (entry.delivery_time - clock.wall_tick()) * clock.tick_seconds
+            if delay > 0:
+                await asyncio.sleep(delay)
+            writer.write(wire.encode_message(entry.seq, entry.msg))
+            await writer.drain()
+            # Sender-owned slot release, same guarded rule as the serial
+            # engine's cross-shard path (ship time stands in for the
+            # scheduled delivery time).
+            self.engine._release_slot(self.channel, entry)
+
+    def close(self) -> None:
+        self._outbox.put_nowait(None)
+
+
+class TcpFabric:
+    """The socket mesh of one trial: one server per process, one connection
+    per directed channel, all on the loopback interface.
+
+    Connection setup happens before the trial clock starts; each accepted
+    connection identifies its source via a HELLO frame, after which a pump
+    coroutine decodes MESSAGE frames and hands them to the engine for
+    dispatch into the destination process coroutine.
+    """
+
+    def __init__(self, engine: "AsyncSimulator") -> None:
+        self.engine = engine
+        self.ports: dict[int, int] = {}
+        self._servers: list[asyncio.Server] = []
+        self._writers: dict[tuple[int, int], asyncio.StreamWriter] = {}
+        self._pumps: list[asyncio.Task] = []
+
+    async def start(self) -> None:
+        for pid in self.engine.hosts:
+            server = await asyncio.start_server(
+                partial(self._accept, pid), host="127.0.0.1", port=0
+            )
+            self._servers.append(server)
+            self.ports[pid] = server.sockets[0].getsockname()[1]
+        for src in self.engine.hosts:
+            for dst in self.engine.network.peers_of(src):
+                _reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", self.ports[dst]
+                )
+                writer.write(wire.encode_hello(src))
+                await writer.drain()
+                self._writers[(src, dst)] = writer
+
+    def writer(self, src: int, dst: int) -> asyncio.StreamWriter:
+        try:
+            return self._writers[(src, dst)]
+        except KeyError:
+            raise SimulationError(
+                f"no connection for channel {src}->{dst} (not a topology edge?)"
+            ) from None
+
+    async def _accept(
+        self, dst: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._pumps.append(task)
+        try:
+            kind, payload = await wire.read_frame(reader)
+            if kind != wire.HELLO:
+                raise wire.WireError("connection did not open with a HELLO frame")
+            src = wire.decode_hello(payload)
+            while True:
+                kind, payload = await wire.read_frame(reader)
+                if kind != wire.MESSAGE:
+                    raise wire.WireError(f"unexpected frame kind 0x{kind:02x}")
+                seq, msg = wire.decode_message(payload)
+                self.engine._tcp_arrival(src, dst, msg, seq)
+        except (asyncio.IncompleteReadError, ConnectionResetError, asyncio.CancelledError):
+            return  # peer closed or trial teardown
+        except Exception as exc:  # noqa: BLE001 - any other pump death must
+            # reach the error sink: the drive loop's stop predicate watches
+            # it, so the trial fails at the next event instead of idling
+            # out the wall-clock horizon with a silently dead channel.
+            self.engine._net_error(exc)
+        finally:
+            writer.close()
+
+    async def close(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        for pump in self._pumps:
+            pump.cancel()
+        if self._pumps:
+            await asyncio.gather(*self._pumps, return_exceptions=True)
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()

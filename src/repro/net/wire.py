@@ -1,0 +1,107 @@
+"""Length-prefixed wire format for the socket transport.
+
+Every frame on a channel connection is::
+
+    +--------+--------+----------------+-----------------+
+    | kind   | version| length (be32)  | payload bytes   |
+    | 1 byte | 1 byte | 4 bytes        | `length` bytes  |
+    +--------+--------+----------------+-----------------+
+
+Two frame kinds:
+
+* ``HELLO`` — sent once by the connecting side right after ``connect``;
+  the payload identifies the *directed* channel (source pid), so the
+  accepting process can route every later frame of the connection.
+* ``MESSAGE`` — one in-flight protocol message.  The payload carries the
+  channel admission sequence number (the canonical delivery rank — see
+  :func:`repro.sim.determinism.delivery_key`) and the message object.
+
+Message objects are serialized with :mod:`pickle`.  The transport only
+ever connects process coroutines of the *same* trial on the loopback
+interface — both endpoints are spawned by one :class:`AsyncSimulator` —
+so the classic pickle trust caveat does not extend the threat model; do
+not point this wire format at untrusted peers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "HELLO",
+    "MESSAGE",
+    "WireError",
+    "pack_frame",
+    "read_frame",
+    "encode_hello",
+    "decode_hello",
+    "encode_message",
+    "decode_message",
+]
+
+#: Bump on any incompatible frame-layout change.
+PROTOCOL_VERSION = 1
+
+HELLO = 0x01
+MESSAGE = 0x02
+
+_HEADER = struct.Struct(">BBI")
+#: Sanity bound on a single frame (a protocol message is a few hundred
+#: bytes; anything near this is a corrupt or hostile length prefix).
+MAX_FRAME = 1 << 20
+
+
+class WireError(SimulationError):
+    """A malformed or incompatible frame arrived on a channel connection."""
+
+
+def pack_frame(kind: int, payload: bytes) -> bytes:
+    if len(payload) > MAX_FRAME:
+        raise WireError(f"frame payload of {len(payload)} bytes exceeds {MAX_FRAME}")
+    return _HEADER.pack(kind, PROTOCOL_VERSION, len(payload)) + payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read one frame; raises ``IncompleteReadError`` on clean EOF mid-frame.
+
+    Returns ``(kind, payload)``.  EOF exactly on a frame boundary raises
+    ``IncompleteReadError`` with an empty partial read — callers treat that
+    as connection shutdown.
+    """
+    header = await reader.readexactly(_HEADER.size)
+    kind, version, length = _HEADER.unpack(header)
+    if version != PROTOCOL_VERSION:
+        raise WireError(f"peer speaks wire version {version}, expected {PROTOCOL_VERSION}")
+    if kind not in (HELLO, MESSAGE):
+        raise WireError(f"unknown frame kind 0x{kind:02x}")
+    if length > MAX_FRAME:
+        raise WireError(f"frame length {length} exceeds {MAX_FRAME}")
+    payload = await reader.readexactly(length) if length else b""
+    return kind, payload
+
+
+def encode_hello(src: int) -> bytes:
+    return pack_frame(HELLO, struct.Struct(">q").pack(src))
+
+
+def decode_hello(payload: bytes) -> int:
+    if len(payload) != 8:
+        raise WireError(f"hello payload of {len(payload)} bytes, expected 8")
+    return struct.Struct(">q").unpack(payload)[0]
+
+
+def encode_message(seq: int, msg: object) -> bytes:
+    return pack_frame(MESSAGE, pickle.dumps((seq, msg), protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def decode_message(payload: bytes) -> tuple[int, object]:
+    try:
+        seq, msg = pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - normalized for callers
+        raise WireError(f"undecodable message frame: {exc}") from exc
+    return seq, msg

@@ -37,6 +37,8 @@ __all__ = [
     "timer_key",
     "activation_key",
     "delivery_key",
+    "key_class",
+    "key_owner",
 ]
 
 # Key layout:  (((cls << PID_BITS | a) << PID_BITS | b) << SEQ_BITS) | c
@@ -87,6 +89,23 @@ def delivery_key(dst: int, src: int, entry_seq: int) -> int:
     both sides of a shard boundary.
     """
     return _pack(DELIVERY_CLASS, dst, src, entry_seq)
+
+
+def key_class(key: int) -> int:
+    """The event class (DRIVER/TIMER/ACTIVATION/DELIVERY) packed into ``key``."""
+    return key >> (2 * _PID_BITS + _SEQ_BITS)
+
+
+def key_owner(key: int) -> int:
+    """The pid at which the keyed event executes.
+
+    Timers and activations execute at their own process, deliveries at the
+    destination.  Class-0 (driver) keys carry no entity and return 0 — never
+    a valid pid, so routers treat it as "no owning process".  The async
+    engine (:mod:`repro.net`) uses this to hand each popped event to the
+    coroutine of the process that owns it.
+    """
+    return (key >> (_PID_BITS + _SEQ_BITS)) & _PID_MAX
 
 
 def derive_seed(*parts: Any) -> int:

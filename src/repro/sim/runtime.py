@@ -129,8 +129,8 @@ class Simulator:
         #: The engine itself never draws from it — every engine draw comes
         #: from a per-entity derived stream so shard composition is exact.
         self.rng = random.Random(seed)
-        self.scheduler = Scheduler()
-        self.trace = Trace()
+        self.scheduler = self._make_scheduler()
+        self.trace = self._make_trace()
         self.stats = SimStats()
         self.loss: LossModel = loss if loss is not None else NoLoss()
         # NoLoss draws no randomness, so skipping the call outright in
@@ -206,6 +206,18 @@ class Simulator:
                     offset, self._make_activation(pid, act_rng), activation_key(pid)
                 )
 
+    # -- engine extension points ---------------------------------------------
+
+    def _make_scheduler(self) -> Scheduler:
+        """The event queue; subclasses substitute driveable clocks
+        (:mod:`repro.net.clock`) with the same ordering discipline."""
+        return Scheduler()
+
+    def _make_trace(self) -> Trace:
+        """The event log; subclasses substitute observer-notifying traces
+        (online spec monitors, :mod:`repro.net.monitors`)."""
+        return Trace()
+
     # -- basic accessors -----------------------------------------------------
 
     @property
@@ -260,6 +272,21 @@ class Simulator:
             self._schedule_delivery(channel, entry)
         return True
 
+    def draw_delivery_time(self, channel: ChannelBase, entry, randint) -> int:
+        """Latency draw from the channel's stream + per-tag FIFO clamp.
+
+        The single source of the delivery-time rule: the serial scheduling
+        path and every transport of the async engine (:mod:`repro.net`)
+        must go through here, so a change to the rule (e.g. per-edge
+        latency maps) cannot desynchronize the engines.  ``randint`` is
+        the channel stream's bound method (callers cache it — see
+        ``_chan_fast``).
+        """
+        lo, hi = self.latency
+        proposed = self.scheduler._now + randint(lo, hi)
+        entry.delivery_time = channel.fifo_delivery_time(entry.msg.tag, proposed)
+        return entry.delivery_time
+
     def _schedule_delivery(self, channel: ChannelBase, entry) -> None:
         pair = (channel.src, channel.dst)
         fast = self._chan_fast.get(pair)
@@ -270,9 +297,7 @@ class Simulator:
             )
             self._chan_fast[pair] = fast
         randint, key_base = fast
-        lo, hi = self.latency
-        proposed = self.scheduler._now + randint(lo, hi)
-        entry.delivery_time = channel.fifo_delivery_time(entry.msg.tag, proposed)
+        self.draw_delivery_time(channel, entry, randint)
         # Key bases are seq-0 keys; entry seqs stay within the key's low
         # bits (see repro.sim.determinism), so addition == packing.
         key = key_base + entry.seq

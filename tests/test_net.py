@@ -1,0 +1,359 @@
+"""The async runtime's contracts.
+
+* ``engine=async --transport loopback`` is **bit-identical** to
+  ``engine=serial`` for the same seed: same trace (event for event,
+  including payload data), same stats, same finals, same completions, same
+  final time — asserted for E3 (PIF) and E5 (ME) across the Complete, Ring
+  and Clustered topologies at n <= 16, plus a seeded parameter fuzz with
+  the serial engine as oracle (the hypothesis-powered variant lives in
+  ``tests/test_net_properties.py``).
+* ``--transport tcp`` runs the same protocol layers over real localhost
+  sockets; a smoke trial must complete with every online spec monitor
+  passing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+
+import pytest
+
+from repro.analysis.runner import EngineRun, execute_trial
+from repro.core.mutex import MutexLayer
+from repro.core.pif import PifLayer
+from repro.errors import HorizonExceeded, SimulationError
+from repro.net.clock import PacedClock, VirtualClock
+from repro.net.engine import AsyncSimulator
+from repro.net.monitors import (
+    LiveTrace,
+    MutexExclusionMonitor,
+    PifWaveMonitor,
+    RequestLivenessMonitor,
+)
+from repro.net import wire
+from repro.sim.trace import EventKind
+
+
+def _pif_build(host) -> None:
+    host.register(PifLayer("pif"))
+
+
+def _me_build(host) -> None:
+    host.register(MutexLayer("me", cs_duration=3))
+
+
+_PIF_DRIVER = dict(
+    tag="pif", requests_per_process=1, payload=lambda pid, k: f"m-{pid}-{k}"
+)
+_ME_DRIVER = dict(tag="me", requests_per_process=1)
+
+
+def _both(n, build, driver, *, topology, seed, loss=0.0,
+          horizon=4_000_000) -> tuple[EngineRun, EngineRun]:
+    runs = []
+    for engine in ("serial", "async"):
+        runs.append(
+            execute_trial(
+                n, build, topology=topology, seed=seed, loss=loss,
+                driver=driver, horizon=horizon, engine=engine,
+            )
+        )
+    return runs[0], runs[1]
+
+
+def _assert_bit_identical(serial: EngineRun, loopback: EngineRun) -> None:
+    serial_events = [(e.time, e.kind, e.process, e.data) for e in serial.trace]
+    loopback_events = [(e.time, e.kind, e.process, e.data) for e in loopback.trace]
+    assert serial_events == loopback_events
+    assert serial.stats.as_dict() == loopback.stats.as_dict()
+    assert dict(serial.stats.sent_by_tag) == dict(loopback.stats.sent_by_tag)
+    assert serial.finals == loopback.finals
+    assert serial.completions == loopback.completions
+    assert serial.completed == loopback.completed
+    assert serial.final_time == loopback.final_time
+
+
+class TestLoopbackBitIdentity:
+    """Acceptance: Complete, Ring and Clustered at n <= 16, same seed."""
+
+    @pytest.mark.parametrize(
+        "n,topology",
+        [(16, None), (16, "ring"), (16, "clustered:4")],
+        ids=["complete", "ring", "clustered"],
+    )
+    def test_pif_trace_bit_identical(self, n, topology):
+        serial, loopback = _both(
+            n, _pif_build, _PIF_DRIVER, topology=topology, seed=0, loss=0.1,
+        )
+        _assert_bit_identical(serial, loopback)
+
+    @pytest.mark.parametrize(
+        "n,topology",
+        [(8, None), (8, "ring"), (16, "clustered:4")],
+        ids=["complete", "ring", "clustered"],
+    )
+    def test_mutex_trace_bit_identical(self, n, topology):
+        # ME exercises busy windows, call_later timers and parked
+        # dispatches — the paths where a coroutine runtime could diverge.
+        # Ring/Complete run at n=8 (ME ring convergence cost grows steeply
+        # with n — see docs/engine.md); Clustered covers n=16.
+        serial, loopback = _both(
+            n, _me_build, _ME_DRIVER, topology=topology, seed=1, loss=0.1,
+        )
+        _assert_bit_identical(serial, loopback)
+
+    def test_loopback_monitors_pass_when_spec_passes(self):
+        _, loopback = _both(
+            8, _pif_build, _PIF_DRIVER, topology="clustered:2", seed=2, loss=0.2,
+        )
+        assert loopback.monitor_reports
+        assert loopback.monitors_ok
+        assert loopback.engine == "async"
+        assert loopback.transport == "loopback"
+
+    def test_different_seeds_differ(self):
+        _, run_a = _both(8, _pif_build, _PIF_DRIVER, topology="ring", seed=0)
+        _, run_b = _both(8, _pif_build, _PIF_DRIVER, topology="ring", seed=1)
+        a = [(e.time, e.kind, e.process, e.data) for e in run_a.trace]
+        b = [(e.time, e.kind, e.process, e.data) for e in run_b.trace]
+        assert a != b
+
+
+class TestSeededFuzzOracle:
+    """Hypothesis-style seeded fuzz: serial output is the oracle.
+
+    Parameters (topology family, loss rate, scramble on/off) are derived
+    deterministically from the case seed, so the sweep covers the axis
+    product without a hypothesis dependency (CI runs this everywhere; the
+    shrinking variant is in test_net_properties.py).
+    """
+
+    TOPOLOGIES = [None, "ring", "star", "clustered:2", "gnp:0.5"]
+    LOSSES = [0.0, 0.1, 0.3]
+
+    @pytest.mark.parametrize("case", range(10))
+    def test_fuzzed_config_matches_serial(self, case):
+        topology = self.TOPOLOGIES[case % len(self.TOPOLOGIES)]
+        loss = self.LOSSES[case % len(self.LOSSES)]
+        scramble = case % 2 == 0
+        n = 4 + (case * 3) % 5  # 4..8
+        runs = []
+        for engine in ("serial", "async"):
+            runs.append(
+                execute_trial(
+                    n, _pif_build, topology=topology, seed=case,
+                    loss=loss, scramble=scramble, driver=_PIF_DRIVER,
+                    horizon=2_000_000, engine=engine,
+                )
+            )
+        _assert_bit_identical(runs[0], runs[1])
+
+
+class TestTcpTransport:
+    """Real sockets: best-effort timing, online-monitor-checked."""
+
+    def test_e3_over_tcp_completes_with_monitors_passing(self):
+        try:
+            run = execute_trial(
+                4, _pif_build, seed=0, driver=_PIF_DRIVER,
+                horizon=30_000, engine="async", transport="tcp",
+            )
+        except OSError as exc:  # pragma: no cover - sandboxed networking
+            pytest.skip(f"cannot bind localhost sockets here: {exc}")
+        assert run.completed
+        assert run.monitor_reports
+        assert run.monitors_ok, [r.violations for r in run.monitor_reports]
+        assert run.stats.delivered > 0
+        assert run.transport == "tcp"
+
+    def test_tcp_trial_is_spec_correct_offline_too(self):
+        from repro.spec.pif_spec import check_pif
+
+        try:
+            run = execute_trial(
+                4, _pif_build, seed=3, loss=0.1, driver=_PIF_DRIVER,
+                horizon=30_000, engine="async", transport="tcp",
+            )
+        except OSError as exc:  # pragma: no cover - sandboxed networking
+            pytest.skip(f"cannot bind localhost sockets here: {exc}")
+        verdict = check_pif(run.trace, "pif", run.pids, final_requests=run.finals)
+        assert verdict.ok, verdict.violations
+
+
+class TestWireFormat:
+    def test_message_frame_roundtrip(self):
+        from repro.core.messages import PifMessage
+
+        msg = PifMessage(tag="pif", broadcast="b", feedback="f", state=2, echo=1)
+        frame = wire.encode_message(41, msg)
+
+        async def decode():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame)
+            reader.feed_eof()
+            return await wire.read_frame(reader)
+
+        kind, payload = asyncio.run(decode())
+        assert kind == wire.MESSAGE
+        seq, decoded = wire.decode_message(payload)
+        assert seq == 41
+        assert decoded == msg
+
+    def test_hello_roundtrip(self):
+        frame = wire.encode_hello(7)
+
+        async def decode():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame)
+            reader.feed_eof()
+            return await wire.read_frame(reader)
+
+        kind, payload = asyncio.run(decode())
+        assert kind == wire.HELLO
+        assert wire.decode_hello(payload) == 7
+
+    def test_version_mismatch_rejected(self):
+        frame = bytearray(wire.encode_hello(1))
+        frame[1] = 99  # version byte
+
+        async def decode():
+            reader = asyncio.StreamReader()
+            reader.feed_data(bytes(frame))
+            reader.feed_eof()
+            return await wire.read_frame(reader)
+
+        with pytest.raises(wire.WireError):
+            asyncio.run(decode())
+
+    def test_undecodable_payload_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_message(b"\x80\x04 this is not a pickle")
+        assert pickle  # silence linters: imported for clarity of intent
+
+
+class TestClocks:
+    def test_paced_clock_clamps_past_schedules(self):
+        clock = PacedClock(0.001)
+        clock._now = 50
+        clock.post_at(10, lambda: None)  # would raise on the base Scheduler
+        assert clock._queue[0][0] == 50
+
+    def test_virtual_clock_mirrors_run_until_time_advance(self):
+        clock = VirtualClock()
+        fired = []
+        clock.post_at(5, lambda: fired.append(clock.now))
+
+        async def drive():
+            async def route(key, fn):
+                fn()
+            return await clock.drive(100, route)
+
+        asyncio.run(drive())
+        assert fired == [5]
+        assert clock.now == 100  # trailing advance, like Scheduler.run_until
+
+
+class TestValidation:
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(SimulationError):
+            AsyncSimulator(4, _pif_build, transport="carrier-pigeon")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            execute_trial(3, _pif_build, driver=_PIF_DRIVER, horizon=10,
+                          engine="quantum")
+
+    def test_round_budget_requires_serial(self):
+        with pytest.raises(SimulationError):
+            execute_trial(3, _me_build, driver=_ME_DRIVER, horizon=10,
+                          engine="async", round_budget=5)
+
+    def test_transport_without_async_engine_rejected(self):
+        # A tcp transport on the serial engine would silently run in
+        # process; refuse instead (the classic forgotten --engine async).
+        with pytest.raises(SimulationError):
+            execute_trial(3, _pif_build, driver=_PIF_DRIVER, horizon=10,
+                          engine="serial", transport="tcp")
+        with pytest.raises(SimulationError):
+            execute_trial(3, _pif_build, driver=_PIF_DRIVER, horizon=10,
+                          engine="serial", tick=0.01)
+
+    def test_shards_without_sharded_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            execute_trial(3, _pif_build, driver=_PIF_DRIVER, horizon=10,
+                          engine="async", shards=2)
+        with pytest.raises(SimulationError):
+            execute_trial(3, _pif_build, driver=_PIF_DRIVER, horizon=10,
+                          engine="serial", window=1)
+
+    def test_run_trial_is_single_use(self):
+        asim = AsyncSimulator(3, _pif_build, seed=0)
+        asim.run_trial(horizon=100_000, driver=_PIF_DRIVER, drain=200)
+        with pytest.raises(SimulationError):
+            asim.run_trial(horizon=100_000, driver=_PIF_DRIVER, drain=200)
+
+
+class TestRoundBudget:
+    def test_exhausted_budget_raises_horizon_exceeded(self):
+        from repro.analysis.runner import run_mutex_trial
+
+        with pytest.raises(HorizonExceeded) as excinfo:
+            run_mutex_trial(8, seed=0, topology="ring",
+                            requests_per_process=1, round_budget=2)
+        err = excinfo.value
+        assert err.rounds is not None and err.rounds > 2
+        assert err.served is not None and err.requested == 8
+
+    def test_generous_budget_completes(self):
+        from repro.analysis.runner import run_mutex_trial
+
+        # A completing ring trial uses ~2n grants; 4n is generous.
+        trial = run_mutex_trial(8, seed=0, topology="ring",
+                                requests_per_process=1, round_budget=32)
+        assert trial.ok
+        assert trial.measurements["completed"]
+
+
+class TestOnlineMonitors:
+    def test_mutex_monitor_flags_overlap(self):
+        trace = LiveTrace()
+        monitor = MutexExclusionMonitor("me")
+        trace.attach(monitor)
+        trace.emit(1, EventKind.CS_ENTER, 1, tag="me", requested=True)
+        trace.emit(2, EventKind.CS_ENTER, 2, tag="me", requested=True)
+        report = monitor.report()
+        assert not report.ok
+        assert "overlap" in report.violations[0]
+
+    def test_mutex_monitor_ignores_cross_cluster_overlap(self):
+        monitor = MutexExclusionMonitor("me", clusters=[{1, 2}, {3, 4}])
+        trace = LiveTrace()
+        trace.attach(monitor)
+        trace.emit(1, EventKind.CS_ENTER, 1, tag="me", requested=True)
+        trace.emit(2, EventKind.CS_ENTER, 3, tag="me", requested=True)
+        assert monitor.report().ok
+
+    def test_pif_monitor_flags_missing_ack(self):
+        monitor = PifWaveMonitor("pif", pids=(1, 2, 3))
+        trace = LiveTrace()
+        trace.attach(monitor)
+        trace.emit(1, EventKind.START, 1, tag="pif", wave=(1, 1), payload="x")
+        trace.emit(2, EventKind.RECEIVE_BRD, 2, tag="pif", wave=(1, 1),
+                   sender=1, payload="x")
+        trace.emit(3, EventKind.RECEIVE_BRD, 3, tag="pif", wave=(1, 1),
+                   sender=1, payload="x")
+        trace.emit(4, EventKind.RECEIVE_FCK, 1, tag="pif", wave=(1, 1), sender=2)
+        trace.emit(5, EventKind.DECIDE, 1, tag="pif", wave=(1, 1))
+        report = monitor.report()
+        assert not report.ok
+        assert any("acknowledgment from 3" in v for v in report.violations)
+
+    def test_liveness_monitor_flags_unanswered_request(self):
+        monitor = RequestLivenessMonitor("pif")
+        trace = LiveTrace()
+        trace.attach(monitor)
+        trace.emit(1, EventKind.REQUEST, 1, tag="pif")
+        assert not monitor.report().ok
+        trace.emit(2, EventKind.DECIDE, 1, tag="pif")
+        assert monitor.report().ok

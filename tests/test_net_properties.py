@@ -1,0 +1,66 @@
+"""Hypothesis property fuzz: serial execution is the loopback oracle.
+
+Fuzzes the scenario axes (topology family × loss × scramble × seed) and
+asserts, for every generated configuration, that ``engine=async`` with the
+loopback transport reproduces the serial engine bit for bit.  Complements
+the deterministic seeded sweep in ``tests/test_net.py`` (which runs without
+the hypothesis dependency); this variant explores the axis product
+adaptively and shrinks counterexamples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, assume, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.analysis.runner import execute_trial  # noqa: E402
+from repro.core.pif import PifLayer  # noqa: E402
+from repro.errors import SimulationError  # noqa: E402
+from repro.sim.topology import topology_from_spec  # noqa: E402
+
+_PIF_DRIVER = dict(
+    tag="pif", requests_per_process=1, payload=lambda pid, k: f"m-{pid}-{k}"
+)
+
+
+def _build(host) -> None:
+    host.register(PifLayer("pif"))
+
+
+@given(
+    topology=st.sampled_from([None, "ring", "star", "grid", "clustered:2", "gnp:0.5"]),
+    loss=st.sampled_from([0.0, 0.1, 0.25]),
+    scramble=st.booleans(),
+    n=st.integers(min_value=3, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_loopback_matches_serial_on_fuzzed_axes(topology, loss, scramble, n, seed):
+    if topology is not None:
+        try:  # not every family admits every n (grid needs a rectangle, ...)
+            topology_from_spec(topology, n, seed=seed)
+        except SimulationError:
+            assume(False)
+    runs = {}
+    for engine in ("serial", "async"):
+        runs[engine] = execute_trial(
+            n, _build, topology=topology, seed=seed, loss=loss,
+            scramble=scramble, driver=_PIF_DRIVER,
+            horizon=2_000_000, engine=engine,
+        )
+    serial, loopback = runs["serial"], runs["async"]
+    assert [(e.time, e.kind, e.process, e.data) for e in serial.trace] == [
+        (e.time, e.kind, e.process, e.data) for e in loopback.trace
+    ]
+    assert serial.stats.as_dict() == loopback.stats.as_dict()
+    assert serial.finals == loopback.finals
+    assert serial.completions == loopback.completions
+    assert serial.final_time == loopback.final_time
