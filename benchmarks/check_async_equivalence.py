@@ -22,12 +22,12 @@ Usage::
 
 from __future__ import annotations
 
-import hashlib
 import sys
 import time
 
 from repro.analysis.runner import execute_trial, run_mutex_trial, run_pif_trial
 from repro.core.pif import PifLayer
+from repro.sim.trace import canonical_trace_hash
 
 CASES = [
     ("E3 pif  complete   n=16", run_pif_trial, 16,
@@ -43,15 +43,6 @@ CASES = [
     ("E5 me   clustered  n=16", run_mutex_trial, 16,
      dict(topology="clustered:4", seed=3, loss=0.1, requests_per_process=1)),
 ]
-
-
-def trace_hash(trace) -> str:
-    """Canonical digest of a trace (order, times, kinds, payload data)."""
-    h = hashlib.blake2b(digest_size=16)
-    for e in trace:
-        h.update(repr((e.time, e.kind, e.process, sorted(e.data.items()))).encode())
-        h.update(b"\x1e")
-    return h.hexdigest()
 
 
 def check_metrics() -> bool:
@@ -94,7 +85,10 @@ def check_bit_identity() -> bool:
                      for e in runs["serial"].trace]
     loopback_events = [(e.time, e.kind, e.process, e.data)
                        for e in runs["async"].trace]
-    hashes = (trace_hash(runs["serial"].trace), trace_hash(runs["async"].trace))
+    hashes = (
+        canonical_trace_hash(runs["serial"].trace),
+        canonical_trace_hash(runs["async"].trace),
+    )
     same = (
         serial_events == loopback_events
         and hashes[0] == hashes[1]

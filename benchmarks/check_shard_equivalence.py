@@ -19,6 +19,7 @@ import time
 
 from repro.analysis.runner import execute_trial, run_mutex_trial, run_pif_trial
 from repro.core.pif import PifLayer
+from repro.sim.trace import canonical_trace_hash
 
 N = 32
 
@@ -73,13 +74,19 @@ def check_bit_identity() -> bool:
                      for e in runs["serial"].trace]
     sharded_events = [(e.time, e.kind, e.process, e.data)
                       for e in runs["sharded"].trace]
+    hashes = (
+        canonical_trace_hash(runs["serial"].trace),
+        canonical_trace_hash(runs["sharded"].trace),
+    )
     same = (
         serial_events == sharded_events
+        and hashes[0] == hashes[1]
         and runs["serial"].stats.as_dict() == runs["sharded"].stats.as_dict()
         and runs["serial"].final_time == runs["sharded"].final_time
     )
     print(("OK " if same else "DIVERGED")
-          + f" bit-identity clustered n=32 ({len(serial_events)} trace events)")
+          + f" bit-identity clustered n=32 ({len(serial_events)} trace events, "
+          f"hash {hashes[0][:16]}.. vs {hashes[1][:16]}..)")
     return same
 
 

@@ -161,37 +161,41 @@ def _loss_model(loss: float):
     return BernoulliLoss(loss) if loss > 0 else NoLoss()
 
 
-def _is_cs_grant(event, tag: str) -> bool:
-    """One arbitration round spent: a critical-section entry of ``tag``."""
-    return event.kind == EventKind.CS_ENTER and event.get("tag") == tag
-
-
 def _count_cs_grants(trace: Trace, tag: str) -> int:
-    return sum(1 for event in trace if _is_cs_grant(event, tag))
+    """Arbitration rounds spent: critical-section entries of ``tag``.
+
+    Reads the CS_ENTER kind index — no full-trace scan, no event views.
+    """
+    return sum(
+        1 for row in trace.kind_rows(EventKind.CS_ENTER)
+        if trace.data_at(row).get("tag") == tag
+    )
 
 
 class _RoundBudgetGuard:
     """Incremental CS-grant counter over a growing trace.
 
     ``exceeded`` is evaluated inside the serial engine's stop predicate —
-    after every event — so it scans only the trace suffix appended since
-    the last call (amortized O(1) per event).
+    after every event — so it watches the trace's *live* CS_ENTER kind
+    index: the steady-state cost is one ``len()`` per event, and payload
+    dicts are inspected only for the (rare) critical-section entries
+    appended since the last call.
     """
 
     def __init__(self, trace: Trace, tag: str, budget: int) -> None:
-        self._trace = trace
+        self._rows = trace.kind_rows(EventKind.CS_ENTER)
+        self._data_at = trace.data_at
         self._tag = tag
         self.budget = budget
         self.rounds = 0
         self._cursor = 0
 
     def exceeded(self) -> bool:
-        trace = self._trace
-        while self._cursor < len(trace):
-            event = trace[self._cursor]
-            self._cursor += 1
-            if _is_cs_grant(event, self._tag):
+        rows = self._rows
+        while self._cursor < len(rows):
+            if self._data_at(rows[self._cursor]).get("tag") == self._tag:
                 self.rounds += 1
+            self._cursor += 1
         return self.rounds > self.budget
 
 

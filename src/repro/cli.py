@@ -188,6 +188,12 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
              "is the sharded engine's lookahead, so raising it allows wider "
              "--window values (fewer barriers)",
     )
+    parser.add_argument(
+        "--profile", type=int, nargs="?", const=15, default=None, metavar="N",
+        help="run the experiment under cProfile and print the top N "
+             "functions by cumulative time (default 15) after the table — "
+             "the quick way to find a trial's hot spots",
+    )
 
 
 def _cmd_figure1(args) -> str:
@@ -346,6 +352,26 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 def _dispatch(args) -> int:
+    top_n = getattr(args, "profile", None)
+    if top_n is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            code = _run_command(args)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative")
+            print(f"\n--- cProfile: top {top_n} by cumulative time ---")
+            stats.print_stats(top_n)
+        return code
+    return _run_command(args)
+
+
+def _run_command(args) -> int:
     if args.command == "figure1":
         output = _cmd_figure1(args)
     elif args.command == "impossibility":

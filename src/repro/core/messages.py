@@ -18,22 +18,54 @@ protocol action ever reads it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["PifMessage"]
 
 
-@dataclass(frozen=True, slots=True)
 class PifMessage:
-    """The single message type of Protocol PIF (Algorithm 1)."""
+    """The single message type of Protocol PIF (Algorithm 1).
 
-    tag: str
-    broadcast: Any
-    feedback: Any
-    state: int
-    echo: int
-    debug_wave: tuple[int, int] | None = None
+    A hand-rolled ``__slots__`` value class rather than a frozen dataclass:
+    every protocol send allocates one of these (they are the bulk of all
+    allocations in a trial), and the dataclass-generated ``__init__`` —
+    six ``object.__setattr__`` calls for frozen-ness — was a top line of
+    the trial profile.  Value semantics (field equality and hashing) are
+    preserved; no engine or protocol code ever mutates a message after
+    construction.
+    """
+
+    __slots__ = ("tag", "broadcast", "feedback", "state", "echo", "debug_wave")
+
+    def __init__(
+        self,
+        tag: str,
+        broadcast: Any,
+        feedback: Any,
+        state: int,
+        echo: int,
+        debug_wave: "tuple[int, int] | None" = None,
+    ) -> None:
+        self.tag = tag
+        self.broadcast = broadcast
+        self.feedback = feedback
+        self.state = state
+        self.echo = echo
+        self.debug_wave = debug_wave
+
+    def _fields(self) -> tuple:
+        return (
+            self.tag, self.broadcast, self.feedback,
+            self.state, self.echo, self.debug_wave,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is PifMessage:
+            return self._fields() == other._fields()  # type: ignore[union-attr]
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._fields())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -79,6 +79,14 @@ class RequestDriver:
             for pid in sorted(pids if pids is not None else sim.pids)
         }
         self._issue_counter: dict[int, int] = {pid: 0 for pid in self._per_process}
+        # The driven layers never change; look them up once, not per poll.
+        self._layers = {pid: sim.layer(pid, tag) for pid in self._per_process}
+        # Number of slots still unfinished (requests left to issue or an
+        # outstanding one).  ``done`` sits in the engines' stop predicates —
+        # evaluated after *every* event — so it must be O(1), not a scan.
+        self._open = sum(
+            1 for s in self._per_process.values() if s.remaining > 0
+        )
         #: Tick at which the driver observed its last request serviced (None
         #: while unfinished) — the sharded engine's global stop time is the
         #: max of this over all shard drivers.
@@ -91,25 +99,28 @@ class RequestDriver:
 
     def _tick(self) -> None:
         now = self.sim.now
+        layers = self._layers
         for pid, slot in self._per_process.items():
-            layer = self.sim.layer(pid, self.tag)
             if slot.issued_at is not None:
                 # Outstanding request: complete it when the layer decides.
-                if layer.request is RequestState.DONE:
+                if layers[pid].request is RequestState.DONE:
                     slot.completed.append(
                         CompletedRequest(pid, slot.issued_at, now)
                     )
                     slot.issued_at = None
                     slot.next_issue_at = now + self.think_time
+                    if slot.remaining <= 0:
+                        self._open -= 1
                 continue
             if slot.remaining <= 0 or now < slot.next_issue_at:
                 continue
+            layer = layers[pid]
             if layer.request is not RequestState.DONE:
                 continue  # Hypothesis 1: never re-request before Done
             self._issue(pid, layer)
             slot.remaining -= 1
             slot.issued_at = now
-        if self._unfinished():
+        if self._open:
             self.sim.scheduler.post_in(self.poll, self._tick, driver_key())
         elif self.done_at is None:
             self.done_at = now
@@ -123,17 +134,14 @@ class RequestDriver:
             layer.external_request()
 
     def _unfinished(self) -> bool:
-        return any(
-            slot.remaining > 0 or slot.issued_at is not None
-            for slot in self._per_process.values()
-        )
+        return self._open > 0
 
     # -- results ------------------------------------------------------------------
 
     @property
     def done(self) -> bool:
         """True when every planned request has been issued and serviced."""
-        return not self._unfinished()
+        return not self._open
 
     def completed(self, pid: int | None = None) -> list[CompletedRequest]:
         if pid is not None:

@@ -4,8 +4,9 @@ Both clocks keep the simulator's event-queue discipline — a heap of
 ``(time, key, seq, item)`` with canonical content-derived keys
 (:mod:`repro.sim.determinism`) — but instead of executing callbacks inline
 like :class:`~repro.sim.scheduler.Scheduler.run_until`, their ``drive``
-coroutine *routes* each popped event to the coroutine of the process that
-owns it and awaits completion before popping the next.
+coroutine *routes* popped events to the coroutine of the process that owns
+them — in batched same-owner runs under the :class:`VirtualClock` — and
+completes each event before popping the next.
 
 * :class:`VirtualClock` — deterministic virtual time.  Events run as fast
   as the machine allows in exactly the (time, key, seq) order the serial
@@ -23,15 +24,18 @@ from __future__ import annotations
 
 import asyncio
 import heapq
+from functools import partial
 from typing import Awaitable, Callable
 
+from repro.sim.determinism import key_owner
 from repro.sim.scheduler import EventHandle, Scheduler
 
 __all__ = ["RouteFn", "VirtualClock", "PacedClock"]
 
-#: Routes one popped event: ``await route(key, callback)`` must execute
-#: ``callback`` (inline or inside the owning process coroutine) and return
-#: only when it has completed.
+#: Routes one popped event (or a same-tick same-owner batch thunk):
+#: ``await route(key, callback)`` must execute ``callback`` (inline or
+#: inside the owning process coroutine) and return only when it has
+#: completed.
 RouteFn = Callable[[int, Callable[[], None]], Awaitable[None]]
 
 
@@ -40,8 +44,22 @@ class VirtualClock(Scheduler):
 
     :meth:`drive` mirrors :meth:`Scheduler.run_until` — same same-tick batch
     draining, same lazy-cancellation handling, same trailing advance of
-    ``_now`` to the horizon — with one difference: each event is awaited
-    through ``route`` so it can execute inside a process coroutine.
+    ``_now`` to the horizon — with one difference: events execute inside
+    process coroutines, reached through ``route``.
+
+    **Batched handoff**: awaiting one future round-trip per event made
+    loopback pay ~2x serial, so ``drive`` routes a *run* of events per
+    handoff instead.  The routed thunk executes the popped event and then
+    keeps draining the heap while the top event has the same owning pid
+    (``key_owner``) and lies within the horizon.  Because the thunk pops
+    strictly *after* each callback completes, it always executes the
+    current heap minimum next — which is exactly the event the serial
+    engine would run — so bit-identity is preserved while a burst of
+    same-process deliveries costs one actor round-trip instead of one per
+    message.  Runs owned by no process (canonical class 0: request
+    drivers, harness posts) execute inline in the drive coroutine without
+    touching the event loop at all, so idle polling stretches cost what
+    they cost the serial engine.
     """
 
     async def drive(
@@ -58,38 +76,68 @@ class VirtualClock(Scheduler):
         """
         if stop is not None and stop():
             return True
-        satisfied = False
+        halted = False
         queue = self._queue
         heappop = heapq.heappop
-        while queue:
-            tick = queue[0][0]
-            if tick > max_time:
-                break
-            halted = False
-            while queue and queue[0][0] == tick:
-                _time, key, _seq, item = heappop(queue)
+        owner_of = key_owner  # called twice per event; bind once
+
+        def drain(first_fn: Callable[[], None], first_key: int) -> None:
+            """Execute one event, then the rest of its same-owner run —
+            called inside the owning process's coroutine (or inline for
+            ownerless runs).  ``self._now`` already sits on the run's
+            first tick."""
+            nonlocal halted
+            owner = owner_of(first_key)
+            self.current_key = first_key
+            first_fn()
+            if stop is not None and stop():
+                halted = True
+                return
+            while (
+                queue
+                and queue[0][0] <= max_time
+                and owner_of(queue[0][1]) == owner
+            ):
+                time, key, _seq, item = heappop(queue)
                 if item.__class__ is EventHandle:
                     if item.cancelled:
                         self._cancelled -= 1
                         continue
-                    self._now = tick
-                    self.current_key = key
                     item.fired = True
-                    await route(key, item.callback)
+                    fn = item.callback
                 else:
-                    self._now = tick
-                    self.current_key = key
-                    await route(key, item)
+                    fn = item
+                self._now = time
+                self.current_key = key
+                fn()
                 if stop is not None and stop():
-                    satisfied = True
                     halted = True
-                    break
+                    return
+
+        while queue:
+            tick = queue[0][0]
+            if tick > max_time:
+                break
+            _time, key, _seq, item = heappop(queue)
+            if item.__class__ is EventHandle:
+                if item.cancelled:
+                    self._cancelled -= 1
+                    continue
+                item.fired = True
+                fn = item.callback
+            else:
+                fn = item
+            self._now = tick
+            if owner_of(key) == 0:
+                drain(fn, key)
+            else:
+                await route(key, partial(drain, fn, key))
             if halted:
                 break
         self.current_key = 0
         if self._now < max_time and (not queue or queue[0][0] > max_time):
             self._now = max_time
-        return satisfied
+        return halted
 
 
 class PacedClock(Scheduler):

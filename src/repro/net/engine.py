@@ -242,10 +242,23 @@ class AsyncSimulator(Simulator):
         actor.post(lambda: self._dispatch_arrival(src, dst, msg, entry_seq))
 
     async def _route(self, key: int, fn: Callable[[], None]) -> None:
-        """Execute one clock event — inside the owning process coroutine
-        when the canonical key names one, inline (driver/harness) otherwise."""
+        """Execute one clock event (or batched run) at its owner.
+
+        Events whose canonical key names no process (drivers, harness
+        posts) run inline.  Owned events run inline too when the owner's
+        inbox is empty: callbacks are synchronous, so the actor coroutine
+        is never mid-item while the drive loop runs, and an empty inbox
+        means the actor's serialization guarantee holds vacuously — the
+        handoff future round-trip (two event-loop hops per run) would buy
+        nothing.  Only contended events — a tcp frame arrival already
+        queued at the owner — pay the actor queue, which is exactly when
+        the serialization matters.  Loopback transports never post to
+        inboxes, so under the virtual clock this fast path, together with
+        the clock's same-owner run batching, is what closes the
+        loopback-vs-serial hot-path gap.
+        """
         actor = self._actors.get(key_owner(key))
-        if actor is None:
+        if actor is None or not actor.inbox.qsize():
             fn()
         else:
             await actor.execute(fn)

@@ -11,6 +11,12 @@ Liveness residues — a request never answered, a started wave never decided
 — are judged at :meth:`OnlineMonitor.report` time, once the trial's drain
 window has closed.
 
+Monitors consume the trace's *streaming* representation: ``observe`` is fed
+the raw ``(time, kind, process, data)`` columns of each emission, so the
+trace store never has to materialize a :class:`~repro.sim.trace.TraceEvent`
+view on the emission hot path — the loopback engine emits exactly as
+cheaply as the serial engine.
+
 The monitors mirror the offline Specifications (1 and 3) on purpose; for
 deterministic transports the offline checkers remain the authority (the
 trial runners still invoke them), and the monitor verdicts ride along as
@@ -24,7 +30,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Collection, Mapping, Sequence
 
-from repro.sim.trace import EventKind, Trace, TraceEvent
+from repro.sim.trace import EventKind, Trace
 
 __all__ = [
     "MonitorReport",
@@ -52,12 +58,14 @@ class MonitorReport:
 
 
 class OnlineMonitor(abc.ABC):
-    """One property automaton fed every trace event as it is emitted."""
+    """One property automaton fed every trace emission as it happens."""
 
     name: str = "monitor"
 
     @abc.abstractmethod
-    def observe(self, event: TraceEvent) -> None:
+    def observe(
+        self, time: int, kind: str, process: int | None, data: Mapping[str, Any]
+    ) -> None:
         """Advance on one event (called synchronously from ``Trace.emit``)."""
 
     @abc.abstractmethod
@@ -73,6 +81,8 @@ class LiveTrace(Trace):
     perturbs bit-identity with the serial engine.
     """
 
+    __slots__ = ("observers",)
+
     def __init__(self) -> None:
         super().__init__()
         self.observers: list[OnlineMonitor] = []
@@ -80,11 +90,10 @@ class LiveTrace(Trace):
     def attach(self, monitor: OnlineMonitor) -> None:
         self.observers.append(monitor)
 
-    def emit(self, time: int, kind: str, process: int | None, **data: Any) -> TraceEvent:
-        event = super().emit(time, kind, process, **data)
+    def emit(self, time: int, kind: str, process: int | None, **data: Any) -> None:
+        self._append(time, kind, process, data, None)
         for observer in self.observers:
-            observer.observe(event)
-        return event
+            observer.observe(time, kind, process, data)
 
 
 class RequestLivenessMonitor(OnlineMonitor):
@@ -101,13 +110,15 @@ class RequestLivenessMonitor(OnlineMonitor):
         self._pending: dict[int, int] = {}
         self._served = 0
 
-    def observe(self, event: TraceEvent) -> None:
-        if event.get("tag") != self.tag or event.process is None:
+    def observe(
+        self, time: int, kind: str, process: int | None, data: Mapping[str, Any]
+    ) -> None:
+        if data.get("tag") != self.tag or process is None:
             return
-        if event.kind == EventKind.REQUEST:
-            self._pending.setdefault(event.process, event.time)
-        elif event.kind == EventKind.DECIDE:
-            if self._pending.pop(event.process, None) is not None:
+        if kind == EventKind.REQUEST:
+            self._pending.setdefault(process, time)
+        elif kind == EventKind.DECIDE:
+            if self._pending.pop(process, None) is not None:
                 self._served += 1
 
     def report(self) -> MonitorReport:
@@ -164,45 +175,46 @@ class PifWaveMonitor(OnlineMonitor):
             return tuple(self.neighbors[initiator])
         return tuple(q for q in self.pids if q != initiator)
 
-    def observe(self, event: TraceEvent) -> None:
-        if event.get("tag") != self.tag:
+    def observe(
+        self, time: int, kind: str, process: int | None, data: Mapping[str, Any]
+    ) -> None:
+        if data.get("tag") != self.tag:
             return
-        kind = event.kind
-        if kind == EventKind.START and "wave" in event.data:
-            self._waves[event["wave"]] = _WaveState(
-                event.process, event.get("payload"), event.time  # type: ignore[arg-type]
+        if kind == EventKind.START and "wave" in data:
+            self._waves[data["wave"]] = _WaveState(
+                process, data.get("payload"), time  # type: ignore[arg-type]
             )
         elif kind == EventKind.RECEIVE_BRD:
-            wave = self._waves.get(event.get("wave"))
-            if wave is None or wave.decided or event.get("sender") != wave.initiator:
+            wave = self._waves.get(data.get("wave"))
+            if wave is None or wave.decided or data.get("sender") != wave.initiator:
                 return  # garbage or out-of-window broadcast: never counts
-            if event.get("payload") == wave.payload:
-                wave.brd_ok.add(event.process)  # type: ignore[arg-type]
+            if data.get("payload") == wave.payload:
+                wave.brd_ok.add(process)  # type: ignore[arg-type]
             else:
                 wave.bad_payloads.append(
-                    f"p{event.process} received corrupted payload "
-                    f"{event.get('payload')!r} != {wave.payload!r}"
+                    f"p{process} received corrupted payload "
+                    f"{data.get('payload')!r} != {wave.payload!r}"
                 )
         elif kind == EventKind.RECEIVE_FCK:
-            wid = event.get("wave")
+            wid = data.get("wave")
             wave = self._waves.get(wid)
             if wave is None:
                 return
             if wave.decided:
                 self.violations.append(
-                    f"acknowledgment from {event.get('sender')} at t={event.time} "
+                    f"acknowledgment from {data.get('sender')} at t={time} "
                     f"arrived after wave {wid} decided"
                 )
                 return
-            sender = event.get("sender")
+            sender = data.get("sender")
             count = wave.fck_counts.get(sender, 0) + 1
             wave.fck_counts[sender] = count
             if count > 1:
                 self.violations.append(
                     f"{count} acknowledgments from {sender} counted for wave {wid}"
                 )
-        elif kind == EventKind.DECIDE and "wave" in event.data:
-            wave = self._waves.get(event["wave"])
+        elif kind == EventKind.DECIDE and "wave" in data:
+            wave = self._waves.get(data["wave"])
             if wave is None or wave.decided:
                 return
             wave.decided = True
@@ -212,13 +224,13 @@ class PifWaveMonitor(OnlineMonitor):
             for q in others:
                 if q not in wave.brd_ok:
                     self.violations.append(
-                        f"p{q} never received broadcast of wave {event['wave']} "
+                        f"p{q} never received broadcast of wave {data['wave']} "
                         f"(payload {wave.payload!r})"
                     )
                 if wave.fck_counts.get(q, 0) == 0:
                     self.violations.append(
                         f"initiator never received acknowledgment from {q} "
-                        f"for wave {event['wave']}"
+                        f"for wave {data['wave']}"
                     )
 
     def report(self) -> MonitorReport:
@@ -262,12 +274,14 @@ class MutexExclusionMonitor(OnlineMonitor):
             return True
         return any(p in c and q in c for c in self._cluster_sets)
 
-    def observe(self, event: TraceEvent) -> None:
-        if event.get("tag") != self.tag or event.process is None:
+    def observe(
+        self, time: int, kind: str, process: int | None, data: Mapping[str, Any]
+    ) -> None:
+        if data.get("tag") != self.tag or process is None:
             return
-        pid = event.process
-        if event.kind == EventKind.CS_ENTER:
-            requested = bool(event.get("requested", True))
+        pid = process
+        if kind == EventKind.CS_ENTER:
+            requested = bool(data.get("requested", True))
             for other, (enter, other_requested) in self._occupants.items():
                 if (
                     other != pid
@@ -275,14 +289,14 @@ class MutexExclusionMonitor(OnlineMonitor):
                     and self._conflict(pid, other)
                 ):
                     self.violations.append(
-                        f"critical sections overlap at t={event.time}: "
+                        f"critical sections overlap at t={time}: "
                         f"p{pid} (requested={requested}) entered while "
                         f"p{other} (requested={other_requested}, since t={enter}) "
                         f"is inside"
                     )
-            self._occupants[pid] = (event.time, requested)
+            self._occupants[pid] = (time, requested)
             self._cs_count += 1
-        elif event.kind == EventKind.CS_EXIT:
+        elif kind == EventKind.CS_EXIT:
             self._occupants.pop(pid, None)
 
     def report(self) -> MonitorReport:

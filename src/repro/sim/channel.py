@@ -107,21 +107,39 @@ class DropFirstK(LossModel):
         self._seen.clear()
 
 
-@dataclass(eq=False)
 class _Entry:
     """A message sitting in a channel.
 
-    Identity semantics (``eq=False``): two entries are the same only if they
-    are the same in-flight occurrence — equal payloads admitted twice must
-    stay distinguishable for removal and membership tests.
+    Identity semantics (no ``__eq__``): two entries are the same only if
+    they are the same in-flight occurrence — equal payloads admitted twice
+    must stay distinguishable for removal and membership tests.  A plain
+    ``__slots__`` class, not a dataclass: one entry is allocated per
+    admitted message, and the dataclass-generated ``__init__`` showed up
+    in trial profiles.
     """
 
-    msg: TaggedMessage
-    enqueued_at: int
-    delivery_time: int | None = None  # None until the network schedules it
-    #: Admission sequence number on this channel (canonical delivery rank —
-    #: computable identically on both sides of a shard boundary).
-    seq: int = 0
+    __slots__ = ("msg", "enqueued_at", "delivery_time", "seq")
+
+    def __init__(
+        self,
+        msg: TaggedMessage,
+        enqueued_at: int,
+        delivery_time: int | None = None,
+        seq: int = 0,
+    ) -> None:
+        self.msg = msg
+        self.enqueued_at = enqueued_at
+        #: None until the network schedules it.
+        self.delivery_time = delivery_time
+        #: Admission sequence number on this channel (canonical delivery
+        #: rank — computable identically on both sides of a shard boundary).
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"_Entry(msg={self.msg!r}, enqueued_at={self.enqueued_at}, "
+            f"delivery_time={self.delivery_time}, seq={self.seq})"
+        )
 
 
 class ChannelBase(abc.ABC):
@@ -136,6 +154,10 @@ class ChannelBase(abc.ABC):
         self._last_delivery: dict[str, int] = {}
         # Monotone admission counter (see _Entry.seq).
         self._admit_seq = 0
+        # Per-tag in-flight counters, maintained on admit/remove/clear:
+        # occupancy checks run on every send, and counting entries by scan
+        # was the single hottest line of the trial profile.
+        self._occupancy: dict[str, int] = {}
 
     # -- capacity ---------------------------------------------------------
 
@@ -145,11 +167,11 @@ class ChannelBase(abc.ABC):
 
     def occupancy(self, tag: str) -> int:
         """Number of in-flight messages with the given tag."""
-        return sum(1 for e in self._entries if e.msg.tag == tag)
+        return self._occupancy.get(tag, 0)
 
     def is_full_for(self, tag: str) -> bool:
         cap = self.capacity_for(tag)
-        return cap is not None and self.occupancy(tag) >= cap
+        return cap is not None and self._occupancy.get(tag, 0) >= cap
 
     # -- admission / removal ---------------------------------------------
 
@@ -159,10 +181,14 @@ class ChannelBase(abc.ABC):
         Returns the channel entry on success, None if the message is lost
         because the channel is full (the Section 4 semantics).
         """
-        if self.is_full_for(msg.tag):
+        tag = msg.tag
+        occ = self._occupancy.get(tag, 0)
+        cap = self.capacity_for(tag)
+        if cap is not None and occ >= cap:
             return None
+        self._occupancy[tag] = occ + 1
         self._admit_seq += 1
-        entry = _Entry(msg=msg, enqueued_at=now, seq=self._admit_seq)
+        entry = _Entry(msg, now, None, self._admit_seq)
         self._entries.append(entry)
         return entry
 
@@ -197,6 +223,7 @@ class ChannelBase(abc.ABC):
             raise ChannelError(
                 f"entry {entry!r} not present in channel {self.src}->{self.dst}"
             ) from None
+        self._occupancy[entry.msg.tag] -= 1
 
     # -- inspection --------------------------------------------------------
 
@@ -211,6 +238,7 @@ class ChannelBase(abc.ABC):
         """Drop everything in the channel (adversary/reset helper)."""
         dropped = [e.msg for e in self._entries]
         self._entries.clear()
+        self._occupancy.clear()
         return dropped
 
     def __len__(self) -> int:

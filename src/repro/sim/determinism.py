@@ -29,10 +29,12 @@ Keys are packed into plain ints so heap comparisons stay at C speed.
 from __future__ import annotations
 
 import hashlib
+import random
 from typing import Any
 
 __all__ = [
     "derive_seed",
+    "bound_randint",
     "driver_key",
     "timer_key",
     "activation_key",
@@ -106,6 +108,60 @@ def key_owner(key: int) -> int:
     coroutine of the process that owns it.
     """
     return (key >> (_PID_BITS + _SEQ_BITS)) & _PID_MAX
+
+
+def bound_randint(rng: "random.Random", lo: int, hi: int) -> Any:
+    """A precompiled equivalent of ``rng.randint(lo, hi)``.
+
+    Engine hot paths (latency draws, activation jitter) call ``randint``
+    with *fixed* bounds millions of times per trial; CPython routes each
+    call through ``randint -> randrange -> _randbelow_with_getrandbits``,
+    three Python frames deep.  The returned closure inlines that chain —
+    the same rejection sampling over ``getrandbits(width.bit_length())``
+    CPython performs — so it **returns the identical value sequence and
+    consumes the identical underlying draws**, leaving the stream state bit
+    for bit where ``randint`` would have left it.  That equivalence is what
+    keeps serial/sharded/loopback traces byte-identical (and is asserted by
+    ``tests/test_runtime.py``).
+
+    The bounds are baked in; the closure also stands in for a bound
+    ``rng.randint`` at call sites that pass ``(lo, hi)`` positionally
+    (e.g. :meth:`Simulator.draw_delivery_time`) — and **raises** if a
+    caller ever passes different bounds, so a future change to the
+    delivery-time rule (per-edge latency maps) that forgets to rebuild the
+    cached draws fails loudly instead of silently sampling stale bounds.
+    Falls back to the plain method for ``random.Random`` subclasses, whose
+    ``randint`` may not be getrandbits-based.
+    """
+    def _check(a: int, b: int) -> None:
+        if a != lo or b != hi:
+            raise ValueError(
+                f"bound_randint compiled for ({lo}, {hi}) called with "
+                f"({a}, {b}); rebuild the cached draw for the new bounds"
+            )
+
+    if type(rng) is not random.Random or hi - lo + 1 <= 1:
+        # Subclass randint may not be getrandbits-based, and randint(lo, lo)
+        # still consumes draws (rejection down to 0) — keep the stock path
+        # for these cold cases behind the same guarded signature.
+        def fallback(a: int = lo, b: int = hi) -> int:
+            _check(a, b)
+            return rng.randint(lo, hi)
+
+        return fallback
+    width = hi - lo + 1
+    k = width.bit_length()
+    getrandbits = rng.getrandbits
+
+    def draw(a: int = lo, b: int = hi) -> int:
+        if a != lo or b != hi:
+            _check(a, b)
+        r = getrandbits(k)
+        while r >= width:
+            r = getrandbits(k)
+        return lo + r
+
+    return draw
 
 
 def derive_seed(*parts: Any) -> int:

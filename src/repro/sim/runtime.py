@@ -43,6 +43,7 @@ barriers and re-injects them via :meth:`schedule_remote_arrival`.
 from __future__ import annotations
 
 import random
+from functools import partial
 from typing import Any, Callable, Sequence
 
 from repro.errors import SimulationError
@@ -56,6 +57,7 @@ from repro.sim.channel import (
 )
 from repro.sim.determinism import (
     activation_key,
+    bound_randint,
     delivery_key,
     derive_seed,
 )
@@ -159,12 +161,16 @@ class Simulator:
 
         # Per-directed-channel streams (loss, corruption, latency): created
         # lazily alongside the lazy channel map.  _chan_fast caches, per
-        # channel, the stream's bound randint and the delivery-key base
-        # (delivery_key(dst, src, 0)) — one dict hit on the send hot path
-        # instead of stream lookup + method lookup + key packing.
+        # channel, everything the send hot path needs — the channel object,
+        # its stream, a precompiled latency draw (bound_randint: identical
+        # values and stream consumption to randint(lo, hi)), the
+        # delivery-key base (delivery_key(dst, src, 0)) and whether the
+        # destination is hosted here — one dict hit per send instead of
+        # channel lookup + stream lookup + method lookup + key packing.
         self._chan_rngs: dict[tuple[int, int], random.Random] = {}
         self._chan_fast: dict[
-            tuple[int, int], tuple[Callable[[int, int], int], int]
+            tuple[int, int],
+            tuple[ChannelBase, random.Random, Callable[..., int], int, bool],
         ] = {}
 
         #: Observation hooks (recording, instrumentation). ``delivery_hooks``
@@ -247,24 +253,43 @@ class Simulator:
 
     # -- message transmission --------------------------------------------------
 
+    def _make_chan_fast(
+        self, src: int, dst: int
+    ) -> tuple[ChannelBase, random.Random, Callable[..., int], int, bool]:
+        channel = self.network.channel(src, dst)
+        rng = self.chan_rng(src, dst)
+        lo, hi = self.latency
+        fast = (
+            channel,
+            rng,
+            bound_randint(rng, lo, hi),
+            delivery_key(dst, src, 0),
+            dst in self.hosts,
+        )
+        self._chan_fast[(src, dst)] = fast
+        return fast
+
     def transmit(self, src: int, dst: int, msg: TaggedMessage) -> bool:
         """Send ``msg`` from ``src`` to ``dst``; returns True if admitted."""
         stats = self.stats
         stats.sent += 1
         stats.sent_by_tag[msg.tag] += 1
+        fast = self._chan_fast.get((src, dst))
+        if fast is None:
+            fast = self._make_chan_fast(src, dst)
+        channel, rng, _draw, _key_base, _hosted = fast
         if self.trace_network:
             self.trace.emit(self.now, EventKind.SEND, src, dst=dst, tag=msg.tag)
         if self.corruption is not None:
-            msg = self.corruption.maybe_corrupt(self.chan_rng(src, dst), msg)
-        if not self._lossless and self.loss.should_drop(self.chan_rng(src, dst), msg):
+            msg = self.corruption.maybe_corrupt(rng, msg)
+        if not self._lossless and self.loss.should_drop(rng, msg):
             stats.dropped_loss += 1
             if self.trace_network:
                 self.trace.emit(self.now, EventKind.DROP_LOSS, src, dst=dst, tag=msg.tag)
             return False
-        channel = self.network.channel(src, dst)
         entry = channel.try_admit(msg, self.scheduler._now)
         if entry is None:
-            self.stats.dropped_full += 1
+            stats.dropped_full += 1
             if self.trace_network:
                 self.trace.emit(self.now, EventKind.DROP_FULL, src, dst=dst, tag=msg.tag)
             return False
@@ -279,8 +304,10 @@ class Simulator:
         path and every transport of the async engine (:mod:`repro.net`)
         must go through here, so a change to the rule (e.g. per-edge
         latency maps) cannot desynchronize the engines.  ``randint`` is
-        the channel stream's bound method (callers cache it — see
-        ``_chan_fast``).
+        the channel stream's draw for the engine's latency bounds — either
+        the stream's bound ``randint`` method or its precompiled equivalent
+        (:func:`~repro.sim.determinism.bound_randint`, cached in
+        ``_chan_fast``); both consume the stream identically.
         """
         lo, hi = self.latency
         proposed = self.scheduler._now + randint(lo, hi)
@@ -288,22 +315,17 @@ class Simulator:
         return entry.delivery_time
 
     def _schedule_delivery(self, channel: ChannelBase, entry) -> None:
-        pair = (channel.src, channel.dst)
-        fast = self._chan_fast.get(pair)
+        fast = self._chan_fast.get((channel.src, channel.dst))
         if fast is None:
-            fast = (
-                self.chan_rng(*pair).randint,
-                delivery_key(channel.dst, channel.src, 0),
-            )
-            self._chan_fast[pair] = fast
-        randint, key_base = fast
-        self.draw_delivery_time(channel, entry, randint)
+            fast = self._make_chan_fast(channel.src, channel.dst)
+        _channel, _rng, draw, key_base, hosted = fast
+        self.draw_delivery_time(channel, entry, draw)
         # Key bases are seq-0 keys; entry seqs stay within the key's low
         # bits (see repro.sim.determinism), so addition == packing.
         key = key_base + entry.seq
-        if channel.dst in self.hosts:
+        if hosted:
             self.scheduler.post_at(
-                entry.delivery_time, lambda: self._deliver(channel, entry), key
+                entry.delivery_time, partial(self._deliver, channel, entry), key
             )
         else:
             # Cross-shard send: this engine owns the channel's slot
@@ -311,7 +333,7 @@ class Simulator:
             # exactly as it would under serial execution); the message
             # itself is handed to the destination shard at the barrier.
             self.scheduler.post_at(
-                entry.delivery_time, lambda: self._release_slot(channel, entry), key
+                entry.delivery_time, partial(self._release_slot, channel, entry), key
             )
             self.cross_outbox.append(
                 (channel.src, channel.dst, entry.msg, entry.delivery_time, entry.seq)
@@ -331,7 +353,7 @@ class Simulator:
         self, src: int, dst: int, msg: TaggedMessage, entry_seq: int, parked: bool = False
     ) -> None:
         host = self.hosts[dst]
-        if host.busy:
+        if host.busy_until > self.scheduler._now:  # host.busy, inlined
             # The receiver is inside a long atomic action; the message has
             # already left its channel slot and waits at the host.  The
             # dispatch retries — under the same canonical key, so arrival
@@ -347,11 +369,15 @@ class Simulator:
             return
         if parked:
             self.parked_dispatches -= 1
-        self.stats.record_delivery(msg.tag)
+        stats = self.stats
+        stats.delivered += 1
+        stats.delivered_by_tag[msg.tag] += 1
         if self.trace_network:
             self.trace.emit(self.now, EventKind.DELIVER, dst, src=src, tag=msg.tag)
-        for hook in self.delivery_hooks:
-            hook(src, dst, msg)
+        hooks = self.delivery_hooks
+        if hooks:
+            for hook in hooks:
+                hook(src, dst, msg)
         host.dispatch(src, msg)
 
     def schedule_remote_arrival(
@@ -402,20 +428,35 @@ class Simulator:
         host = self.hosts[pid]
         stats = self.stats
         hooks = self.activation_hooks
-        randint = act_rng.randint
-        post_in = self.scheduler.post_in
+        scheduler = self.scheduler
+        post_in = scheduler.post_in
         period = self.activation_period
         jitter_max = self.activation_jitter
         key = activation_key(pid)
+        activate = host.activate
+        # Precompiled jitter draw: same values, same stream consumption as
+        # randint(0, jitter_max) — see repro.sim.determinism.bound_randint.
+        draw = bound_randint(act_rng, 0, jitter_max) if jitter_max > 0 else None
 
-        def fire() -> None:
-            if not host.busy:
-                stats.activations += 1
-                for hook in hooks:
-                    hook(pid)
-                host.activate()
-            jitter = randint(0, jitter_max) if jitter_max > 0 else 0
-            post_in(period + jitter, fire, key)
+        if draw is None:
+            def fire() -> None:
+                # host.busy, inlined (property + attribute chain per tick).
+                if host.busy_until <= scheduler._now:
+                    stats.activations += 1
+                    if hooks:
+                        for hook in hooks:
+                            hook(pid)
+                    activate()
+                post_in(period, fire, key)
+        else:
+            def fire() -> None:
+                if host.busy_until <= scheduler._now:
+                    stats.activations += 1
+                    if hooks:
+                        for hook in hooks:
+                            hook(pid)
+                    activate()
+                post_in(period + draw(), fire, key)
 
         return fire
 

@@ -68,6 +68,8 @@ class _KeyedTrace(Trace):
     events by position reproduces exactly the serial engine's append order.
     """
 
+    __slots__ = ("_scheduler", "keys", "_last_time", "_last_key")
+
     def __init__(self, scheduler: Scheduler) -> None:
         super().__init__()
         self._scheduler = scheduler
@@ -75,15 +77,14 @@ class _KeyedTrace(Trace):
         self._last_time = -1
         self._last_key = 0
 
-    def emit(self, time: int, kind: str, process: int | None, **data: Any) -> TraceEvent:
-        event = super().emit(time, kind, process, **data)
+    def emit(self, time: int, kind: str, process: int | None, **data: Any) -> None:
+        super().emit(time, kind, process, **data)
         key = self._scheduler.current_key
         if time == self._last_time and key < self._last_key:
             key = self._last_key
         self._last_time = time
         self._last_key = key
         self.keys.append((time, key, len(self.keys)))
-        return event
 
 
 def _merge_rank(event: TraceEvent, key: int) -> int:
@@ -149,10 +150,10 @@ def _worker_loop(
         # recorded: per-host scramble emissions (e.g. a scrambled-in CS
         # occupant's cs-enter) precede the channel INJECTs in serial order.
         scramble_processes(sim, scramble_seed, emit_trace=False)
-        proc_len = len(trace.events)
+        proc_len = len(trace)
         if fill_channels:
             injected = scramble_channels(sim, scramble_seed, emit_trace=False)
-        chan_len = len(trace.events)
+        chan_len = len(trace)
     driver: RequestDriver | None = None
     if driver_cfg is not None:
         driver = RequestDriver(sim, pids=shard_pids, **driver_cfg)
@@ -175,7 +176,7 @@ def _worker_loop(
             conn.send((
                 "result",
                 {
-                    "events": list(trace.events),
+                    "events": list(trace),
                     "keys": list(trace.keys),
                     "proc_len": proc_len,
                     "chan_len": chan_len,

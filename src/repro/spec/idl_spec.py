@@ -44,22 +44,24 @@ def check_idl(
     requested: dict[int, int] = {}
     computations = 0
 
-    for event in trace:
-        if event.get("tag") != tag or event.process is None:
+    # Single forward pass over the REQUEST/START/DECIDE kind index.
+    for time, kind, pid, data in trace.scan(
+        EventKind.REQUEST, EventKind.START, EventKind.DECIDE
+    ):
+        if data.get("tag") != tag or pid is None:
             continue
-        pid = event.process
-        if event.kind == EventKind.REQUEST:
-            requested.setdefault(pid, event.time)
-        elif event.kind == EventKind.START:
+        if kind == EventKind.REQUEST:
+            requested.setdefault(pid, time)
+        elif kind == EventKind.START:
             requested.pop(pid, None)
-            started[pid] = event.time
-        elif event.kind == EventKind.DECIDE:
+            started[pid] = time
+        else:  # DECIDE
             start_time = started.pop(pid, None)
             if start_time is None:
                 continue  # decision of a never-started computation: no guarantee
             computations += 1
-            min_id = event.get("min_id")
-            id_tab = event.get("id_tab") or {}
+            min_id = data.get("min_id")
+            id_tab = data.get("id_tab") or {}
             if neighborhoods is not None:
                 peers = tuple(neighborhoods[pid])
                 expected_min = min(
@@ -72,7 +74,7 @@ def check_idl(
                 verdict.add(
                     "Correctness",
                     f"decided min_id={min_id!r}, true minimum is {expected_min}",
-                    time=event.time,
+                    time=time,
                     process=pid,
                 )
             for q in peers:
@@ -80,7 +82,7 @@ def check_idl(
                     verdict.add(
                         "Correctness",
                         f"ID-Tab[{q}]={id_tab.get(q)!r}, true identity is {idents[q]}",
-                        time=event.time,
+                        time=time,
                         process=pid,
                     )
 

@@ -41,20 +41,23 @@ class CsInterval:
 
 
 def cs_intervals(trace: Trace, tag: str) -> list[CsInterval]:
-    """Reconstruct every critical-section interval from the trace."""
+    """Reconstruct every critical-section interval from the trace.
+
+    Single forward pass over the CS_ENTER/CS_EXIT kind index — the trace's
+    other events are never visited.
+    """
     open_by_pid: dict[int, tuple[int, bool]] = {}
     intervals: list[CsInterval] = []
-    for event in trace:
-        if event.get("tag") != tag or event.process is None:
+    for time, kind, pid, data in trace.scan(EventKind.CS_ENTER, EventKind.CS_EXIT):
+        if data.get("tag") != tag or pid is None:
             continue
-        pid = event.process
-        if event.kind == EventKind.CS_ENTER:
-            open_by_pid[pid] = (event.time, bool(event.get("requested", True)))
-        elif event.kind == EventKind.CS_EXIT:
+        if kind == EventKind.CS_ENTER:
+            open_by_pid[pid] = (time, bool(data.get("requested", True)))
+        else:
             opened = open_by_pid.pop(pid, None)
             if opened is not None:
                 intervals.append(
-                    CsInterval(pid=pid, enter=opened[0], exit=event.time,
+                    CsInterval(pid=pid, enter=opened[0], exit=time,
                                requested=opened[1])
                 )
     for pid, (enter, requested) in open_by_pid.items():
@@ -118,13 +121,13 @@ def check_mutex(
     # Start/liveness: every request is eventually serviced.
     if require_all_served:
         pending: dict[int, int] = {}
-        for event in trace:
-            if event.get("tag") != tag or event.process is None:
+        for time, kind, pid, data in trace.scan(EventKind.REQUEST, EventKind.DECIDE):
+            if data.get("tag") != tag or pid is None:
                 continue
-            if event.kind == EventKind.REQUEST:
-                pending.setdefault(event.process, event.time)
-            elif event.kind == EventKind.DECIDE:
-                pending.pop(event.process, None)
+            if kind == EventKind.REQUEST:
+                pending.setdefault(pid, time)
+            else:
+                pending.pop(pid, None)
         for pid, t in sorted(pending.items()):
             verdict.add(
                 "Start",
@@ -138,7 +141,7 @@ def check_mutex(
 def service_order(trace: Trace, tag: str) -> list[int]:
     """The order in which processes entered requested critical sections."""
     return [
-        e.process  # type: ignore[misc]
-        for e in trace.of_kind(EventKind.CS_ENTER)
-        if e.get("tag") == tag and e.get("requested", True) and e.process is not None
+        pid
+        for _time, _kind, pid, data in trace.scan(EventKind.CS_ENTER)
+        if data.get("tag") == tag and data.get("requested", True) and pid is not None
     ]

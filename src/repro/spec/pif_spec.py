@@ -70,14 +70,14 @@ def check_pif(
 def _check_start(trace: Trace, tag: str, verdict: SpecVerdict) -> None:
     """Every request is followed by a start at the same process."""
     pending: dict[int, int] = {}
-    for event in trace:
-        if event.get("tag") != tag or event.process is None:
+    for time, kind, process, data in trace.scan(EventKind.REQUEST, EventKind.START):
+        if data.get("tag") != tag or process is None:
             continue
-        if event.kind == EventKind.REQUEST:
+        if kind == EventKind.REQUEST:
             # Hypothesis 1 makes at most one request outstanding.
-            pending.setdefault(event.process, event.time)
-        elif event.kind == EventKind.START:
-            pending.pop(event.process, None)
+            pending.setdefault(process, time)
+        else:
+            pending.pop(process, None)
     for pid, t in sorted(pending.items()):
         verdict.add(
             "Start",
@@ -116,10 +116,10 @@ def _check_correctness(wave: Wave, others: tuple[int, ...], verdict: SpecVerdict
     """Every reachable process got the broadcast; the initiator every ack."""
     for q in others:
         brds = [
-            e
-            for e in wave.brd_events.get(q, [])
-            if e["sender"] == wave.pid
-            and wave.start_time <= e.time <= (wave.decide_time or e.time)
+            (time, payload)
+            for time, sender, payload in wave.brd_events.get(q, [])
+            if sender == wave.pid
+            and wave.start_time <= time <= (wave.decide_time or time)
         ]
         if not brds:
             verdict.add(
@@ -130,13 +130,13 @@ def _check_correctness(wave: Wave, others: tuple[int, ...], verdict: SpecVerdict
                 process=q,
             )
         else:
-            for e in brds:
-                if e.get("payload") != wave.payload:
+            for time, payload in brds:
+                if payload != wave.payload:
                     verdict.add(
                         "Correctness",
                         f"process {q} received corrupted payload "
-                        f"{e.get('payload')!r} != {wave.payload!r}",
-                        time=e.time,
+                        f"{payload!r} != {wave.payload!r}",
+                        time=time,
                         process=q,
                     )
     for q in others:
@@ -163,12 +163,12 @@ def _check_decision(wave: Wave, others: tuple[int, ...], verdict: SpecVerdict) -
                 time=wave.decide_time,
                 process=wave.pid,
             )
-        for e in fcks:
-            if not wave.start_time <= e.time <= (wave.decide_time or e.time):
+        for time in fcks:
+            if not wave.start_time <= time <= (wave.decide_time or time):
                 verdict.add(
                     "Decision",
-                    f"acknowledgment from {q} at t={e.time} outside the "
+                    f"acknowledgment from {q} at t={time} outside the "
                     f"wave window [{wave.start_time}, {wave.decide_time}]",
-                    time=e.time,
+                    time=time,
                     process=wave.pid,
                 )

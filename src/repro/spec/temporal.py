@@ -94,7 +94,8 @@ def leads_to(
     With ``within``, the response must arrive no later than
     ``trigger.time + within``.
     """
-    events = list(trace)
+    # The trace's cached event view — no per-call O(n) copy.
+    events = trace.events
     for i, e in enumerate(events):
         if not trigger(e):
             continue

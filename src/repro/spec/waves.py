@@ -1,11 +1,18 @@
-"""Wave extraction: reconstructing PIF computations from a trace."""
+"""Wave extraction: reconstructing PIF computations from a trace.
+
+Runs as a **single forward pass** over the trace's kind index
+(:meth:`~repro.sim.trace.Trace.scan`): only START/DECIDE/RECEIVE_BRD/
+RECEIVE_FCK rows are visited and no :class:`~repro.sim.trace.TraceEvent`
+views are materialized — on a multi-million-event trace the extraction cost
+is proportional to the wave traffic, not the trace length.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any
 
-from repro.sim.trace import EventKind, Trace, TraceEvent
+from repro.sim.trace import EventKind, Trace
 
 __all__ = ["Wave", "extract_waves"]
 
@@ -19,10 +26,11 @@ class Wave:
     payload: object
     start_time: int
     decide_time: int | None = None
-    #: receive-brd events carrying this wave id, by receiving process.
-    brd_events: dict[int, list[TraceEvent]] = field(default_factory=dict)
-    #: receive-fck events carrying this wave id at the initiator, by sender.
-    fck_events: dict[int, list[TraceEvent]] = field(default_factory=dict)
+    #: receive-brd records carrying this wave id, by receiving process:
+    #: ``(time, sender, payload)`` per event, in trace order.
+    brd_events: dict[int, list[tuple[int, int, Any]]] = field(default_factory=dict)
+    #: receive-fck times carrying this wave id at the initiator, by sender.
+    fck_events: dict[int, list[int]] = field(default_factory=dict)
 
     @property
     def decided(self) -> bool:
@@ -43,27 +51,37 @@ def extract_waves(trace: Trace, tag: str) -> list[Wave]:
     garbage messages carry no wave id and attach to nothing).
     """
     waves: dict[tuple[int, int], Wave] = {}
-    for event in trace:
-        if event.get("tag") != tag:
+    for time, kind, process, data in trace.scan(
+        EventKind.START,
+        EventKind.DECIDE,
+        EventKind.RECEIVE_BRD,
+        EventKind.RECEIVE_FCK,
+    ):
+        if data.get("tag") != tag:
             continue
-        if event.kind == EventKind.START and "wave" in event.data:
-            wid = event["wave"]
-            waves[wid] = Wave(
-                pid=event.process,  # type: ignore[arg-type]
-                wave=wid,
-                payload=event.get("payload"),
-                start_time=event.time,
-            )
-        elif event.kind == EventKind.DECIDE and "wave" in event.data:
-            wave = waves.get(event["wave"])
-            if wave is not None and wave.decide_time is None:
-                wave.decide_time = event.time
-        elif event.kind == EventKind.RECEIVE_BRD:
-            wid = event.get("wave")
-            if wid in waves:
-                waves[wid].brd_events.setdefault(event.process, []).append(event)
-        elif event.kind == EventKind.RECEIVE_FCK:
-            wid = event.get("wave")
-            if wid in waves:
-                waves[wid].fck_events.setdefault(event["sender"], []).append(event)
+        if kind == EventKind.RECEIVE_BRD:
+            wid = data.get("wave")
+            wave = waves.get(wid)
+            if wave is not None:
+                wave.brd_events.setdefault(process, []).append(
+                    (time, data.get("sender"), data.get("payload"))
+                )
+        elif kind == EventKind.RECEIVE_FCK:
+            wid = data.get("wave")
+            wave = waves.get(wid)
+            if wave is not None:
+                wave.fck_events.setdefault(data["sender"], []).append(time)
+        elif kind == EventKind.START:
+            if "wave" in data:
+                waves[data["wave"]] = Wave(
+                    pid=process,  # type: ignore[arg-type]
+                    wave=data["wave"],
+                    payload=data.get("payload"),
+                    start_time=time,
+                )
+        else:  # DECIDE
+            if "wave" in data:
+                wave = waves.get(data["wave"])
+                if wave is not None and wave.decide_time is None:
+                    wave.decide_time = time
     return sorted(waves.values(), key=lambda w: w.start_time)

@@ -1,11 +1,17 @@
 """Hypothesis property fuzz: serial execution is the loopback oracle.
 
-Fuzzes the scenario axes (topology family × loss × scramble × seed) and
-asserts, for every generated configuration, that ``engine=async`` with the
-loopback transport reproduces the serial engine bit for bit.  Complements
-the deterministic seeded sweep in ``tests/test_net.py`` (which runs without
-the hypothesis dependency); this variant explores the axis product
-adaptively and shrinks counterexamples.
+Fuzzes the scenario axes (topology family × loss × scramble × capacity ×
+seed) and asserts, for every generated configuration, that ``engine=async``
+with the loopback transport reproduces the serial engine bit for bit.
+Complements the deterministic seeded sweep in ``tests/test_net.py`` (which
+runs without the hypothesis dependency); this variant explores the axis
+product adaptively and shrinks counterexamples.
+
+The channel-capacity axis rides in both the fuzzed equivalence property and
+a dedicated capacity-focused variant (wider flag domains per the paper's
+"capacity-c extension": ``max_state = capacity + 3``), closing the
+ROADMAP's "capacity axis still unfuzzed" gap with serial output as the
+oracle.
 """
 
 from __future__ import annotations
@@ -31,10 +37,22 @@ def _build(host) -> None:
     host.register(PifLayer("pif"))
 
 
+def _assert_bit_identical(serial, loopback) -> None:
+    assert [(e.time, e.kind, e.process, e.data) for e in serial.trace] == [
+        (e.time, e.kind, e.process, e.data) for e in loopback.trace
+    ]
+    assert serial.trace.canonical_hash() == loopback.trace.canonical_hash()
+    assert serial.stats.as_dict() == loopback.stats.as_dict()
+    assert serial.finals == loopback.finals
+    assert serial.completions == loopback.completions
+    assert serial.final_time == loopback.final_time
+
+
 @given(
     topology=st.sampled_from([None, "ring", "star", "grid", "clustered:2", "gnp:0.5"]),
     loss=st.sampled_from([0.0, 0.1, 0.25]),
     scramble=st.booleans(),
+    capacity=st.sampled_from([1, 2]),
     n=st.integers(min_value=3, max_value=8),
     seed=st.integers(min_value=0, max_value=2**16),
 )
@@ -43,24 +61,65 @@ def _build(host) -> None:
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-def test_loopback_matches_serial_on_fuzzed_axes(topology, loss, scramble, n, seed):
+def test_loopback_matches_serial_on_fuzzed_axes(
+    topology, loss, scramble, capacity, n, seed
+):
     if topology is not None:
         try:  # not every family admits every n (grid needs a rectangle, ...)
             topology_from_spec(topology, n, seed=seed)
         except SimulationError:
             assume(False)
+
+    def build(host) -> None:
+        # The paper's capacity-c extension: flag domain scales with capacity.
+        host.register(PifLayer("pif", max_state=capacity + 3))
+
     runs = {}
     for engine in ("serial", "async"):
         runs[engine] = execute_trial(
-            n, _build, topology=topology, seed=seed, loss=loss,
-            scramble=scramble, driver=_PIF_DRIVER,
+            n, build, topology=topology, seed=seed, loss=loss,
+            scramble=scramble, capacity=capacity, driver=_PIF_DRIVER,
             horizon=2_000_000, engine=engine,
         )
-    serial, loopback = runs["serial"], runs["async"]
-    assert [(e.time, e.kind, e.process, e.data) for e in serial.trace] == [
-        (e.time, e.kind, e.process, e.data) for e in loopback.trace
-    ]
-    assert serial.stats.as_dict() == loopback.stats.as_dict()
-    assert serial.finals == loopback.finals
-    assert serial.completions == loopback.completions
-    assert serial.final_time == loopback.final_time
+    _assert_bit_identical(runs["serial"], runs["async"])
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    loss=st.sampled_from([0.0, 0.2]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_capacity_axis_fuzz_serial_oracle(capacity, loss, seed):
+    """Channel capacity fuzz (ROADMAP: 'capacity axis still unfuzzed').
+
+    For every drawn capacity the loopback engine must reproduce the serial
+    engine bit for bit — capacity changes the channels' admission behaviour
+    (per-tag slot budgets), which exercises the sender-owned accounting on
+    both engines — and the trial must still satisfy Specification 1 when
+    the flag domain is sized for the capacity (``max_state = capacity + 3``).
+    """
+
+    def build(host) -> None:
+        host.register(PifLayer("pif", max_state=capacity + 3))
+
+    runs = {}
+    for engine in ("serial", "async"):
+        runs[engine] = execute_trial(
+            5, build, seed=seed, loss=loss, capacity=capacity,
+            scramble=True, driver=_PIF_DRIVER,
+            horizon=2_000_000, engine=engine,
+        )
+    _assert_bit_identical(runs["serial"], runs["async"])
+
+    from repro.spec.pif_spec import check_pif
+
+    serial = runs["serial"]
+    verdict = check_pif(
+        serial.trace, "pif", serial.pids, final_requests=serial.finals
+    )
+    assert verdict.ok, verdict.summary()

@@ -65,6 +65,14 @@ class TestEmitAndQuery:
         trace = make_trace()
         assert isinstance(trace.events, tuple)
 
+    def test_slicing(self):
+        trace = make_trace()
+        assert [e.kind for e in trace[1:3]] == [
+            EventKind.START, EventKind.RECEIVE_BRD,
+        ]
+        assert [e.time for e in trace[-2:]] == [8, 9]
+        assert trace[-1].kind == EventKind.DECIDE
+
     def test_extend(self):
         trace = Trace()
         trace.extend([TraceEvent(0, EventKind.NOTE, None)])
