@@ -1,14 +1,23 @@
 """Sharded-engine speedup: wall-clock vs the serial engine at scale.
 
-Scenario: scrambled PIF waves on ``Clustered(4x32)`` (n = 128) with latency
-(8, 16) — the shape sharding targets: dense intra-cluster traffic, a thin
-(<5%) cross-shard cut, and an 8-tick conservative window so barriers
-amortize.  The sharded run uses 4 workers and must (a) be bit-identical to
-the serial run and (b) on hardware with >= 4 usable cores, beat it by >= 1.5x
-wall-clock.  On fewer cores (CI smoke containers, laptops under cgroup
-quota) the bit-identity assertion still runs and the table reports the
-measured ratio, but the speedup bar is not enforced — multiprocessing cannot
-beat serial without parallel hardware.
+Two scenarios, both scrambled PIF waves at n = 128 with 4 workers:
+
+* **uniform** — ``Clustered(4x32)`` with latency (8, 16): dense
+  intra-cluster traffic, a thin (<5%) cross-shard cut, and an 8-tick
+  conservative window so barriers amortize.
+* **wan** — ``wan:4`` (same graph, per-edge weights: intra-cluster (1, 3),
+  cross-cluster (16, 32)) with the engine's default latency (1, 3).  The
+  global latency floor is 1 tick, but every *cut* edge has lo = 16, so the
+  cross-shard lookahead widens the default window to 16 — the barrier count
+  must drop by >= 8x vs running at the global-floor window of 1.
+
+Each sharded run must (a) be bit-identical to the serial run and (b) on
+hardware with >= 4 usable cores, beat it wall-clock (>= 1.5x uniform,
+>= 2x wan — wide windows barely synchronize).  On fewer cores (CI smoke
+containers, laptops under cgroup quota) the bit-identity and barrier-count
+assertions still run and the table reports the measured ratio, but the
+speedup bars are not enforced — multiprocessing cannot beat serial without
+parallel hardware.
 """
 
 from __future__ import annotations
@@ -25,13 +34,17 @@ from repro.sim.runtime import Simulator
 from repro.sim.sharded import ShardedSimulator
 
 N = 128
-TOPOLOGY = "clustered:4"
 WORKERS = 4
 SEED = 0
-LATENCY = (8, 16)
 HORIZON = 400_000
-DRIVER = dict(tag="pif", requests_per_process=2,
-              payload=lambda pid, k: f"m-{pid}-{k}")
+
+UNIFORM = dict(topology="clustered:4", latency=(8, 16), requests=2)
+WAN = dict(topology="wan:4", latency=(1, 3), requests=1)
+
+
+def _driver_spec(requests: int) -> dict:
+    return dict(tag="pif", requests_per_process=requests,
+                payload=lambda pid, k: f"m-{pid}-{k}")
 
 
 def _build(host) -> None:
@@ -45,62 +58,85 @@ def _usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def _run_serial():
+def _run_serial(topology: str, latency: tuple[int, int], requests: int):
     t0 = time.perf_counter()
-    sim = Simulator(N, _build, topology=TOPOLOGY, seed=SEED, latency=LATENCY)
+    sim = Simulator(N, _build, topology=topology, seed=SEED, latency=latency)
     sim.scramble(seed=SEED ^ 0x5EED)
-    driver = RequestDriver(sim, **DRIVER)
+    driver = RequestDriver(sim, **_driver_spec(requests))
     assert sim.run(HORIZON, until=lambda s: driver.done)
     sim.run(sim.now + 200)
     elapsed = time.perf_counter() - t0
     return elapsed, sim
 
 
-def _run_sharded(window: int):
+def _run_sharded(topology: str, latency: tuple[int, int], requests: int,
+                 window: int | None):
     t0 = time.perf_counter()
     sharded = ShardedSimulator(
-        N, _build, topology=TOPOLOGY, seed=SEED, latency=LATENCY,
+        N, _build, topology=topology, seed=SEED, latency=latency,
         shards=WORKERS, window=window,
     )
     result = sharded.run_trial(
-        horizon=HORIZON, scramble_seed=SEED ^ 0x5EED, driver=DRIVER, drain=200,
+        horizon=HORIZON, scramble_seed=SEED ^ 0x5EED,
+        driver=_driver_spec(requests), drain=200,
     )
     elapsed = time.perf_counter() - t0
     return elapsed, result, sharded
 
 
-def test_sharded_speedup(benchmark):
-    serial_time, sim = benchmark.pedantic(_run_serial, rounds=1, iterations=1)
+def _assert_bit_identical(sim, result) -> None:
+    # The speedup is only interesting if the answer is exactly the serial
+    # answer.
+    serial_events = [(e.time, e.kind, e.process, e.data) for e in sim.trace]
+    sharded_events = [(e.time, e.kind, e.process, e.data) for e in result.trace]
+    assert serial_events == sharded_events
+    assert sim.stats.as_dict() == result.stats.as_dict()
+    assert sim.now == result.final_time
 
+
+def _speedup_rows(scenario: dict, serial_time: float, sim, windows):
     rows = []
+    results = {}
     best_ratio = 0.0
-    for window in (1, LATENCY[0]):
-        sharded_time, result, sharded = _run_sharded(window)
+    for window in windows:
+        sharded_time, result, sharded = _run_sharded(
+            scenario["topology"], scenario["latency"], scenario["requests"],
+            window,
+        )
         ratio = serial_time / sharded_time
         best_ratio = max(best_ratio, ratio)
         rows.append([
-            f"sharded w={window}", sharded.n_shards, window,
+            f"sharded w={result.window}", sharded.n_shards, result.window,
+            result.barriers, round(result.sync_wall_s, 2),
             round(sharded_time, 2), f"{ratio:.2f}x",
             result.partition.describe()["cut_fraction"],
         ])
+        results[result.window] = result
+        _assert_bit_identical(sim, result)
+    rows.insert(0, ["serial", 1, "-", "-", "-",
+                    round(serial_time, 2), "1.00x", "-"])
+    return rows, results, best_ratio
 
-        # Bit-identity: the speedup is only interesting if the answer is
-        # exactly the serial answer.
-        serial_events = [(e.time, e.kind, e.process, e.data) for e in sim.trace]
-        sharded_events = [(e.time, e.kind, e.process, e.data) for e in result.trace]
-        assert serial_events == sharded_events
-        assert sim.stats.as_dict() == result.stats.as_dict()
-        assert sim.now == result.final_time
+
+_COLUMNS = ["engine", "shards", "window", "barriers", "sync wall s",
+            "wall s", "vs serial", "cut"]
+
+
+def test_sharded_speedup(benchmark):
+    serial_time, sim = benchmark.pedantic(
+        lambda: _run_serial(**{k: UNIFORM[k] for k in
+                               ("topology", "latency")},
+                            requests=UNIFORM["requests"]),
+        rounds=1, iterations=1,
+    )
+    rows, _, best_ratio = _speedup_rows(
+        UNIFORM, serial_time, sim, (1, UNIFORM["latency"][0]))
 
     cpus = _usable_cpus()
-    rows.insert(0, ["serial", 1, "-", round(serial_time, 2), "1.00x", "-"])
     report(
         f"sharded speedup — PIF on clustered 4x32 (n={N}), "
         f"{WORKERS} workers, {cpus} usable cores",
-        render_table(
-            ["engine", "shards", "window", "wall s", "vs serial", "cut"],
-            rows,
-        )
+        render_table(_COLUMNS, rows)
         + f"\nfinal simulated tick: {sim.now}; messages: {sim.stats.sent}"
         + ("" if cpus >= WORKERS else
            f"\nNOTE: only {cpus} usable core(s) — speedup bar (>=1.5x) "
@@ -110,4 +146,39 @@ def test_sharded_speedup(benchmark):
         assert best_ratio >= 1.5, (
             f"sharded engine only reached {best_ratio:.2f}x over serial "
             f"with {WORKERS} workers on {cpus} cores"
+        )
+
+
+def test_sharded_wan_lookahead(benchmark):
+    serial_time, sim = benchmark.pedantic(
+        lambda: _run_serial(WAN["topology"], WAN["latency"], WAN["requests"]),
+        rounds=1, iterations=1,
+    )
+    # Window 1 is the classic rule (global latency floor); None picks the
+    # engine default, which the cross-shard lookahead widens to the cut
+    # edges' floor of 16.
+    rows, results, best_ratio = _speedup_rows(WAN, serial_time, sim, (1, None))
+    wide = max(results)
+    assert wide == 16, f"expected cross-shard floor window 16, got {wide}"
+    barrier_ratio = results[1].barriers / results[wide].barriers
+
+    cpus = _usable_cpus()
+    report(
+        f"cross-shard lookahead — PIF on wan:4 (n={N}), "
+        f"{WORKERS} workers, {cpus} usable cores",
+        render_table(_COLUMNS, rows)
+        + f"\nfinal simulated tick: {sim.now}; messages: {sim.stats.sent}"
+        + f"\nbarriers w=1 / w={wide}: {barrier_ratio:.1f}x fewer"
+        + ("" if cpus >= WORKERS else
+           f"\nNOTE: only {cpus} usable core(s) — speedup bar (>=2x) "
+           "needs >= 4; asserting bit-identity + barrier count only"),
+    )
+    assert barrier_ratio >= 8.0, (
+        f"widened window only cut barriers {barrier_ratio:.1f}x "
+        f"({results[1].barriers} -> {results[wide].barriers}); expected >= 8x"
+    )
+    if cpus >= WORKERS:
+        assert best_ratio >= 2.0, (
+            f"sharded engine only reached {best_ratio:.2f}x over serial "
+            f"on wan:4 with {WORKERS} workers on {cpus} cores"
         )

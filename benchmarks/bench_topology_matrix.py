@@ -6,6 +6,12 @@ sweep on the sparse topologies (per-leader-cluster Correctness).  Every cell
 must report zero violations — the snap-stabilization guarantee is claimed
 for the wave's reach on *any* connected topology, not just the paper's
 complete graph.
+
+The matrix carries a weighted axis: ``wan:2`` is the same graph as
+``clustered:2`` with per-edge latency maps (fast intra-cluster, slow
+cross-cluster), so the uniform-vs-WAN row pair shows how heterogeneous
+latency stretches waves without touching correctness (the ``weighted``
+column marks which rows drew per-edge bounds).
 """
 
 from __future__ import annotations
@@ -15,7 +21,8 @@ from conftest import report
 from repro.analysis.experiments import run_topology_matrix
 from repro.analysis.tables import render_table
 
-TOPOLOGIES = ["complete", "ring", "star", "grid", "gnp:0.35", "clustered:2"]
+TOPOLOGIES = ["complete", "ring", "star", "grid", "gnp:0.35", "clustered:2",
+              "wan:2"]
 LOSSES = [0.0, 0.25]
 SEEDS = [0, 1, 2]
 
@@ -28,7 +35,7 @@ def run_pif_matrix():
 
 def run_mutex_matrix():
     return run_topology_matrix(
-        n=6, topologies=["complete", "ring", "star", "clustered:2"],
+        n=6, topologies=["complete", "ring", "star", "clustered:2", "wan:2"],
         losses=[0.0, 0.1], seeds=[0, 1], protocol="mutex",
     )
 

@@ -1,12 +1,13 @@
 """CI gate: prove the async loopback engine equals the serial engine.
 
-Runs E3 (PIF) and E5 (ME) on the Complete, Ring and Clustered topologies
-at n <= 16 with ``engine=serial`` and ``engine=async --transport loopback``
-and fails on any divergence in the trace-derived metrics.  On top of the
-metric comparison it re-executes one PIF case and compares the raw traces
-event for event plus a canonical trace hash — the tentpole's bit-identity
-proof obligation — and asserts every online monitor agreed with the
-offline verdict.
+Runs E3 (PIF) and E5 (ME) on the Complete, Ring, Clustered and
+WAN-weighted Clustered topologies at n <= 32 with ``engine=serial`` and
+``engine=async --transport loopback`` and fails on any divergence in the
+trace-derived metrics.  On top of the metric comparison it re-executes two
+PIF cases — uniform Clustered and the WAN preset, where per-edge latency
+draws must stay engine-independent — and compares the raw traces event for
+event plus a canonical trace hash — the bit-identity proof obligation —
+and asserts every online monitor agreed with the offline verdict.
 
 ``--tcp-smoke`` additionally runs one E3 trial at n=8 over real localhost
 TCP sockets and requires completion with all online spec monitors
@@ -42,6 +43,8 @@ CASES = [
      dict(topology="ring", seed=1, loss=0.0, requests_per_process=1)),
     ("E5 me   clustered  n=16", run_mutex_trial, 16,
      dict(topology="clustered:4", seed=3, loss=0.1, requests_per_process=1)),
+    ("E3 pif  wan        n=32", run_pif_trial, 32,
+     dict(topology="wan:4", seed=0, loss=0.1, requests_per_process=1)),
 ]
 
 
@@ -71,14 +74,14 @@ def check_metrics() -> bool:
     return ok
 
 
-def check_bit_identity() -> bool:
+def check_bit_identity(topology: str, n: int) -> bool:
     driver = dict(tag="pif", requests_per_process=1,
                   payload=lambda pid, k: f"m-{pid}-{k}")
     runs = {}
     for engine in ("serial", "async"):
         runs[engine] = execute_trial(
-            16, lambda h: h.register(PifLayer("pif")),
-            topology="clustered:4", seed=0, loss=0.1,
+            n, lambda h: h.register(PifLayer("pif")),
+            topology=topology, seed=0, loss=0.1,
             driver=driver, horizon=2_000_000, engine=engine,
         )
     serial_events = [(e.time, e.kind, e.process, e.data)
@@ -97,8 +100,8 @@ def check_bit_identity() -> bool:
         and runs["serial"].completions == runs["async"].completions
     )
     print(("OK " if same else "DIVERGED")
-          + f" bit-identity clustered n=16 ({len(serial_events)} trace events, "
-          f"hash {hashes[0][:16]}.. vs {hashes[1][:16]}..)")
+          + f" bit-identity {topology} n={n} ({len(serial_events)} trace "
+          f"events, hash {hashes[0][:16]}.. vs {hashes[1][:16]}..)")
     return same
 
 
@@ -129,7 +132,8 @@ def main() -> int:
     ok = True
     if "--tcp-only" not in args:
         ok = check_metrics()
-        ok &= check_bit_identity()
+        ok &= check_bit_identity("clustered:4", 16)
+        ok &= check_bit_identity("wan:4", 32)
     if "--tcp-smoke" in args or "--tcp-only" in args:
         ok &= tcp_smoke()
     print("async-equivalence:", "PASS" if ok else "FAIL")

@@ -1,11 +1,13 @@
 """CI gate: prove the sharded engine equals the serial engine, per push.
 
-Runs E3 (PIF) and E5 (ME) at n = 32 on the Complete and Clustered
-topologies with ``engine=serial`` and ``engine=sharded`` and fails on any
-divergence in the trace-derived metrics (verdict, violation count, waves,
-CS count, message totals, request latencies, final time, ...).  On top of
-the metric comparison it re-executes one PIF case and compares the raw
-traces event for event — the tentpole's bit-identity proof obligation.
+Runs E3 (PIF) and E5 (ME) at n = 32 on the Complete, Clustered, and
+WAN-weighted Clustered topologies with ``engine=serial`` and
+``engine=sharded`` and fails on any divergence in the trace-derived
+metrics (verdict, violation count, waves, CS count, message totals,
+request latencies, final time, ...).  On top of the metric comparison it
+re-executes two PIF cases — uniform Clustered and the WAN preset, whose
+cross-shard lookahead runs 16-tick windows — and compares the raw traces
+event for event and by canonical hash — the bit-identity proof obligation.
 
 Usage::
 
@@ -32,6 +34,10 @@ CASES = [
      dict(topology=None, seed=0, loss=0.0, requests_per_process=1), dict(shards=4)),
     ("E5 me   clustered  n=32", run_mutex_trial,
      dict(topology="clustered:4", seed=0, loss=0.0, requests_per_process=1), dict()),
+    ("E3 pif  wan        n=32", run_pif_trial,
+     dict(topology="wan:4", seed=0, loss=0.1, requests_per_process=1), dict()),
+    ("E5 me   wan        n=32", run_mutex_trial,
+     dict(topology="wan:4", seed=0, loss=0.0, requests_per_process=1), dict()),
 ]
 
 
@@ -60,14 +66,14 @@ def check_metrics() -> bool:
     return ok
 
 
-def check_bit_identity() -> bool:
+def check_bit_identity(topology: str) -> bool:
     driver = dict(tag="pif", requests_per_process=1,
                   payload=lambda pid, k: f"m-{pid}-{k}")
     runs = {}
     for engine in ("serial", "sharded"):
         runs[engine] = execute_trial(
             N, lambda h: h.register(PifLayer("pif")),
-            topology="clustered:4", seed=0, loss=0.1,
+            topology=topology, seed=0, loss=0.1,
             driver=driver, horizon=2_000_000, engine=engine,
         )
     serial_events = [(e.time, e.kind, e.process, e.data)
@@ -84,15 +90,18 @@ def check_bit_identity() -> bool:
         and runs["serial"].stats.as_dict() == runs["sharded"].stats.as_dict()
         and runs["serial"].final_time == runs["sharded"].final_time
     )
+    window = runs["sharded"].window
     print(("OK " if same else "DIVERGED")
-          + f" bit-identity clustered n=32 ({len(serial_events)} trace events, "
+          + f" bit-identity {topology} n=32 window={window} "
+          f"({len(serial_events)} trace events, "
           f"hash {hashes[0][:16]}.. vs {hashes[1][:16]}..)")
     return same
 
 
 def main() -> int:
     ok = check_metrics()
-    ok &= check_bit_identity()
+    ok &= check_bit_identity("clustered:4")
+    ok &= check_bit_identity("wan:4")
     print("shard-equivalence:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
 

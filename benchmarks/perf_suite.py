@@ -17,6 +17,13 @@ Times the three experiment shapes that dominate real usage, each as a
   ~125k messages) on the complete graph, ``serial``.
   ``summary.e7_n64_serial_median_s`` is the headline single-engine number
   (the PR-4 acceptance bar: >=1.5x over the pre-overhaul engine).
+* **wan** — the sharded engine on the WAN preset (``wan:4``, n=128, 4
+  workers): per-edge weights put lo=16 on every cut edge, so the cross-shard
+  lookahead widens the default sync window from 1 to 16 ticks.
+  ``summary.sharded_barriers_wan_n128`` / ``sharded_sync_wall_wan_s`` record
+  what the widened window costs at the barrier, and ``sharded_speedup_wan``
+  the wall-clock ratio vs serial (>= 1 only with real parallel hardware —
+  informational on shared runners, like every timing here).
 
 Each case runs ``--repeat`` times (median reported; min/max recorded so
 noisy runners are visible in the artifact) and the whole table lands in
@@ -127,6 +134,35 @@ def _loopback_overhead(repeat: int) -> float:
     return round(statistics.median(ratios), 3)
 
 
+def _wan_sharded(repeat: int) -> dict[str, Any]:
+    """Serial-vs-sharded pairs on the WAN preset (wan:4, n=128, 4 workers).
+
+    Paired like :func:`_loopback_overhead` so background load cancels out of
+    the speedup ratio.  Barrier count and window are deterministic (read from
+    the sharded trial's provenance); sync overhead is the median across
+    repetitions.
+    """
+    kwargs = dict(seed=0, loss=0.0, requests_per_process=1, topology="wan:4")
+    ratios: list[float] = []
+    syncs: list[float] = []
+    prov: dict[str, Any] = {}
+    for _ in range(max(repeat, 3)):
+        t0 = time.perf_counter()
+        run_pif_trial(128, engine="serial", **kwargs)
+        t1 = time.perf_counter()
+        trial = run_pif_trial(128, engine="sharded", shards=4, **kwargs)
+        t2 = time.perf_counter()
+        ratios.append((t1 - t0) / (t2 - t1))
+        prov = trial.provenance
+        syncs.append(prov["sync_wall_s"])
+    return {
+        "sharded_speedup_wan": round(statistics.median(ratios), 3),
+        "sharded_window_wan_n128": prov["window"],
+        "sharded_barriers_wan_n128": prov["barriers"],
+        "sharded_sync_wall_wan_s": round(statistics.median(syncs), 4),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--repeat", type=int, default=5,
@@ -155,6 +191,7 @@ def main(argv: list[str] | None = None) -> int:
     }
     if not args.skip_async:
         summary["loopback_over_serial_e3"] = _loopback_overhead(repeat)
+    summary.update(_wan_sharded(repeat))
 
     artifact = {
         "suite": "perf_suite",

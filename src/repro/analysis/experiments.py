@@ -278,6 +278,9 @@ def run_topology_matrix(
     spec and loss rate, checking the topology-generalized specification,
     and returns one aggregate row per scenario.  This is the sweep the
     ``--topology`` axis exists for: every cell must report zero violations.
+    Weighted specs (``"wan:K"``) ride the same axis — a row's ``weighted``
+    flag marks cells whose edges carry their own latency bounds, so uniform
+    vs WAN cells of the same graph sit side by side.
     ``engine`` selects the execution backend (``serial``/``sharded``/
     ``async``); serial, sharded and async-loopback produce identical rows
     for the same seeds.
@@ -322,6 +325,10 @@ def run_topology_matrix(
                 {
                     "topology": meta["topology"],
                     "engine": engine,
+                    # A weighted spec ("wan:K", or an explicit latency map)
+                    # changes per-edge delivery times, not the graph — the
+                    # flag lets matrix rows compare uniform vs WAN cells.
+                    "weighted": top.is_weighted,
                     "diameter": meta["diameter"],
                     "max_degree": meta["max_degree"],
                     "loss": loss,

@@ -133,6 +133,11 @@ class EngineRun:
     wall_clock_s: float = 0.0
     #: Online monitor verdicts (async engine; empty elsewhere).
     monitor_reports: list[MonitorReport] = field(default_factory=list)
+    #: Sharded-engine provenance: the active synchronization window, the
+    #: barriers paid and the driver-side sync overhead (None elsewhere).
+    window: int | None = None
+    barriers: int | None = None
+    sync_wall_s: float | None = None
 
     def latencies(self) -> list[int]:
         return [c.latency for c in self.completions]
@@ -148,6 +153,10 @@ class EngineRun:
             "transport": self.transport,
             "wall_clock_s": round(self.wall_clock_s, 4),
         }
+        if self.window is not None:
+            record["window"] = self.window
+            record["barriers"] = self.barriers
+            record["sync_wall_s"] = round(self.sync_wall_s or 0.0, 4)
         if self.monitor_reports:
             record["monitors_ok"] = self.monitors_ok
             record["monitors"] = [
@@ -337,6 +346,9 @@ def execute_trial(
             pids=sharded.pids,
             engine=engine,
             wall_clock_s=time.perf_counter() - start_clock,
+            window=result.window,
+            barriers=result.barriers,
+            sync_wall_s=result.sync_wall_s,
         )
     if engine == "async":
         asim = AsyncSimulator(
@@ -425,6 +437,7 @@ def run_pif_trial(
             horizon=horizon,
             served=len(run.completions),
             requested=requests_per_process * n,
+            window=run.window,
         )
     verdict = check_pif(
         run.trace, "pif", run.pids, final_requests=run.finals,
@@ -494,6 +507,7 @@ def run_idl_trial(
             horizon=horizon,
             served=len(run.completions),
             requested=requests_per_process * n,
+            window=run.window,
         )
     truth = {p: (idents[p] if idents else p) for p in run.pids}
     verdict = check_idl(
@@ -577,6 +591,7 @@ def run_mutex_trial(
             served=len(run.completions),
             requested=requests_per_process * n,
             rounds=_count_cs_grants(run.trace, "me"),
+            window=run.window,
         )
     clusters = (
         None

@@ -53,7 +53,7 @@ __all__ = ["main", "build_parser"]
 _EXPERIMENTS = (
     "figure1", "impossibility", "pif", "idl", "mutex",
     "compare", "scaling", "ablations", "property1", "capacity",
-    "matrix", "aggregate",
+    "matrix", "aggregate", "topology",
 )
 
 
@@ -134,6 +134,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, nargs="+", default=[0])
     _add_topology_arg(p)
 
+    p = sub.add_parser(
+        "topology",
+        help="inspect a topology: structure, edge-weight stats, shard lookahead",
+    )
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition into N shards (default: one per arbitration-cluster "
+             "group) before reporting the cut and its latency floor",
+    )
+    p.add_argument(
+        "--latency", type=int, nargs=2, default=(1, 3), metavar=("LO", "HI"),
+        help="global latency bounds edges without explicit weights fall "
+             "back to (default 1 3)",
+    )
+    _add_topology_arg(p)
+
     return parser
 
 
@@ -141,7 +159,20 @@ def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--topology", default=None, metavar="SPEC",
         help="communication graph: complete (default), ring, star, grid[:RxC], "
-             "gnp[:P], clustered[:K]",
+             "gnp[:P], clustered[:K], wan[:K] (clustered with fast "
+             "intra-cluster and slow cross-cluster edges)",
+    )
+    parser.add_argument(
+        "--wan", action="store_true",
+        help="shorthand for --topology wan: the WAN-clustered preset "
+             "(intra-cluster latency 1-3, cross-cluster 16-32); widens the "
+             "sharded engine's sync window to the cross-shard latency floor",
+    )
+    parser.add_argument(
+        "--latency-map", nargs="+", default=None, metavar="SRC-DST=LO:HI",
+        help="per-edge latency bounds layered over the topology, e.g. "
+             "'1-2=16:32 2-3=16:32'; each entry weighs both directions of "
+             "the edge, unmapped edges keep the global --latency bounds",
     )
 
 
@@ -196,6 +227,56 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_latency_map(entries: Sequence[str]) -> dict[tuple[int, int], tuple[int, int]]:
+    mapping: dict[tuple[int, int], tuple[int, int]] = {}
+    for entry in entries:
+        edge, edge_sep, bounds = entry.partition("=")
+        u, pid_sep, v = edge.partition("-")
+        lo, bound_sep, hi = bounds.partition(":")
+        try:
+            if not (edge_sep and pid_sep and bound_sep):
+                raise ValueError
+            mapping[(int(u), int(v))] = (int(lo), int(hi))
+        except ValueError:
+            raise SimulationError(
+                f"bad --latency-map entry {entry!r}; want SRC-DST=LO:HI "
+                f"(e.g. 1-2=16:32)"
+            ) from None
+    return mapping
+
+
+def _topology_spec(args) -> str | None:
+    """Fold the --wan shorthand into the --topology spec string."""
+    spec = args.topology
+    if getattr(args, "wan", False):
+        if spec is not None and not spec.startswith("wan"):
+            raise SimulationError(
+                f"--wan conflicts with --topology {spec!r}; use --topology "
+                f"wan:K to pick the cluster count"
+            )
+        spec = spec or "wan"
+    return spec
+
+
+def _weighted_topology(args, n: int, seed: int):
+    """The trial topology argument: a spec string, or — when --latency-map
+    layers explicit per-edge bounds over the graph — a built
+    :class:`~repro.sim.topology.Weighted` instance."""
+    spec = _topology_spec(args)
+    entries = getattr(args, "latency_map", None)
+    if entries is None:
+        return spec
+    from repro.sim.topology import Weighted, topology_from_spec
+
+    base = topology_from_spec(spec or "complete", n, seed=seed)
+    if base.is_weighted:
+        raise SimulationError(
+            f"--latency-map cannot layer over the already-weighted spec "
+            f"{spec!r}; weigh the edges in one map"
+        )
+    return Weighted(base, latency=_parse_latency_map(entries))
+
+
 def _cmd_figure1(args) -> str:
     results = [run_figure1(seed=s) for s in args.seeds]
     return render_table(
@@ -218,7 +299,8 @@ def _cmd_trials(args, runner, title: str) -> str:
     kwargs = dict(
         loss=args.loss,
         requests_per_process=args.requests,
-        topology=args.topology, latency=tuple(args.latency),
+        topology=_weighted_topology(args, args.n, args.seeds[0]),
+        latency=tuple(args.latency),
         engine=args.engine, shards=args.shards, window=args.window,
         transport=args.transport, tick=args.tick,
     )
@@ -233,6 +315,8 @@ def _cmd_trials(args, runner, title: str) -> str:
             trials[0].measurements[k], (int, float, bool))
     )
     prov = ["wall_clock_s"]
+    if args.engine == "sharded":
+        prov += ["window", "barriers"]
     if args.engine == "async":
         prov += ["transport", "monitors_ok"]
     return render_table(
@@ -257,8 +341,13 @@ def _cmd_compare(args) -> str:
 
 
 def _cmd_scaling(args) -> str:
+    if args.latency_map:
+        raise SimulationError(
+            "--latency-map names explicit pids, which a multi-n scaling "
+            "sweep cannot share; use --topology wan[:K] for a weighted sweep"
+        )
     rows = [
-        pif_scaling_row(n, seeds=args.seeds, topology=args.topology)
+        pif_scaling_row(n, seeds=args.seeds, topology=_topology_spec(args))
         for n in args.ns
     ]
     return render_table(
@@ -313,13 +402,45 @@ def _cmd_matrix(args) -> str:
 
 
 def _cmd_aggregate(args) -> str:
+    topology = _weighted_topology(args, args.n, args.seeds[0])
     rows = [
-        run_aggregation_demo(args.n, topology=args.topology, op=args.op, seed=s)
+        run_aggregation_demo(args.n, topology=topology, op=args.op, seed=s)
         for s in args.seeds
     ]
     return render_table(
         list(rows[0].keys()), [list(r.values()) for r in rows],
         title="aggregation — one PIF reduce wave",
+    )
+
+
+def _cmd_topology(args) -> str:
+    """Structure + edge-weight stats + the sharded engine's lookahead."""
+    from repro.sim.partition import partition_topology
+    from repro.sim.topology import topology_from_spec
+
+    top = _weighted_topology(args, args.n, args.seed)
+    if top is None or isinstance(top, str):
+        top = topology_from_spec(top or "complete", args.n, seed=args.seed)
+    lo, hi = args.latency
+    partition = partition_topology(top, args.shards)
+    cut = partition.describe()
+    floor = partition.latency_floor(lo)
+    info = {
+        **top.describe(),
+        "weighted": top.is_weighted,
+        **top.weight_stats(default_latency=(lo, hi)),
+        "shards": cut["shards"],
+        "shard_sizes": cut["sizes"],
+        "cross_edges": cut["cross_edges"],
+        "cut_fraction": cut["cut_fraction"],
+        "global_latency_floor": lo,
+        "cross_shard_latency_floor": floor,
+        "default_sharded_window": floor,
+    }
+    return render_table(
+        ["property", "value"],
+        [[key, value] for key, value in info.items()],
+        title=f"topology — {top.name}",
     )
 
 
@@ -396,6 +517,8 @@ def _run_command(args) -> int:
         output = _cmd_matrix(args)
     elif args.command == "aggregate":
         output = _cmd_aggregate(args)
+    elif args.command == "topology":
+        output = _cmd_topology(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     print(output)

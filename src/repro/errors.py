@@ -44,17 +44,21 @@ class HorizonExceeded(SimulationError):
         served: int | None = None,
         requested: int | None = None,
         rounds: int | None = None,
+        window: int | None = None,
     ) -> None:
         parts = [message, f"horizon={horizon}"]
         if served is not None and requested is not None:
             parts.append(f"served {served}/{requested} requests")
         if rounds is not None:
             parts.append(f"{rounds} arbitration rounds granted")
+        if window is not None:
+            parts.append(f"sync window={window} ticks")
         super().__init__("; ".join(parts))
         self.horizon = horizon
         self.served = served
         self.requested = requested
         self.rounds = rounds
+        self.window = window
 
 
 class ProtocolError(ReproError):

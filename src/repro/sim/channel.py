@@ -18,6 +18,13 @@ Two channel families are provided:
   impossibility construction: any finite number of messages may sit in the
   channel initially.
 
+A channel's capacity need not be uniform across the system: the network's
+channel factories size each :class:`BoundedChannel` from the topology's
+per-edge capacity map (:meth:`repro.sim.topology.Topology.edge_capacity`)
+when one exists, so a :class:`~repro.sim.topology.Weighted` topology can
+give individual links their own slot budgets.  Each channel still enforces
+one fixed capacity for its lifetime — the per-edge map only chooses which.
+
 Messages are duck-typed: anything with a string ``tag`` attribute.
 """
 

@@ -127,11 +127,13 @@ def bound_randint(rng: "random.Random", lo: int, hi: int) -> Any:
     The bounds are baked in; the closure also stands in for a bound
     ``rng.randint`` at call sites that pass ``(lo, hi)`` positionally
     (e.g. :meth:`Simulator.draw_delivery_time`) — and **raises** if a
-    caller ever passes different bounds, so a future change to the
-    delivery-time rule (per-edge latency maps) that forgets to rebuild the
-    cached draws fails loudly instead of silently sampling stale bounds.
-    Falls back to the plain method for ``random.Random`` subclasses, whose
-    ``randint`` may not be getrandbits-based.
+    caller ever passes different bounds.  With per-edge latency maps
+    (:class:`~repro.sim.topology.Weighted`) each cached draw is compiled
+    for its own channel's bounds, so this guard is what makes a call site
+    that resolves the wrong edge's bounds — or a cache rebuilt against a
+    different topology — fail loudly instead of silently sampling stale
+    bounds.  Falls back to the plain method for ``random.Random``
+    subclasses, whose ``randint`` may not be getrandbits-based.
     """
     def _check(a: int, b: int) -> None:
         if a != lo or b != hi:

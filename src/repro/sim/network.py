@@ -11,6 +11,13 @@ Channels are materialized lazily on first use — a wave touching only one
 neighbourhood allocates only those channels, which keeps large-n simulator
 construction O(n) instead of O(n^2).  Passing a plain pid sequence keeps the
 historical behaviour (a :class:`~repro.sim.topology.Complete` topology).
+
+The default (and :meth:`Network.bounded`) channel factories size each
+channel from the topology's per-edge capacity map
+(:meth:`~repro.sim.topology.Topology.edge_capacity`) when one exists,
+falling back to the uniform capacity otherwise — so a
+:class:`~repro.sim.topology.Weighted` topology can give individual links
+their own slot budgets without touching the factory.
 """
 
 from __future__ import annotations
@@ -22,6 +29,20 @@ from repro.sim.channel import BoundedChannel, ChannelBase, UnboundedChannel
 from repro.sim.topology import Complete, Topology
 
 __all__ = ["Network"]
+
+
+def _bounded_factory(
+    topology: Topology, capacity: int
+) -> Callable[[int, int], ChannelBase]:
+    """Bounded channels sized per edge (weighted maps win over the uniform
+    capacity).  ``edge_capacity`` is None on unweighted edges, so plain
+    topologies get exactly the uniform-capacity channels they always had."""
+    def factory(src: int, dst: int) -> ChannelBase:
+        return BoundedChannel(
+            src, dst, capacity=topology.edge_capacity(src, dst) or capacity
+        )
+
+    return factory
 
 
 class Network:
@@ -37,7 +58,7 @@ class Network:
         self.topology: Topology = topology
         self.pids: tuple[int, ...] = topology.pids
         if channel_factory is None:
-            channel_factory = lambda s, d: BoundedChannel(s, d, capacity=1)
+            channel_factory = _bounded_factory(topology, 1)
         self._channel_factory = channel_factory
         self._channels: dict[tuple[int, int], ChannelBase] = {}
 
@@ -47,7 +68,9 @@ class Network:
     def bounded(
         cls, topology: Topology | Sequence[int], capacity: int = 1
     ) -> "Network":
-        return cls(topology, lambda s, d: BoundedChannel(s, d, capacity=capacity))
+        if not isinstance(topology, Topology):
+            topology = Complete(topology)
+        return cls(topology, _bounded_factory(topology, capacity))
 
     @classmethod
     def unbounded(cls, topology: Topology | Sequence[int]) -> "Network":

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
-from repro.sim.topology import Clustered, Topology, arbitration_clusters
+from repro.sim.topology import Clustered, Topology, Weighted, arbitration_clusters
 
 __all__ = ["Partition", "partition_topology"]
 
@@ -74,6 +74,27 @@ class Partition:
         return [
             (u, v) for u, v in self.topology.edges() if shard_of[u] == shard_of[v]
         ]
+
+    def latency_floor(self, default_lo: int) -> int:
+        """The sharded engine's effective lookahead under this partition.
+
+        Only *cross-shard* edges constrain the synchronization window:
+        intra-shard messages never traverse a barrier, so the window may
+        grow to the minimum latency lower bound over the cut — per-edge
+        bounds (:meth:`~repro.sim.topology.Topology.edge_latency`, both
+        directions of each cut edge) where the topology carries them,
+        ``default_lo`` (the engine's global floor) elsewhere.  A partition
+        with no cut (single shard) returns ``default_lo`` unchanged.
+        """
+        floor: int | None = None
+        edge_latency = self.topology.edge_latency
+        for u, v in self.cross_edges():
+            for src, dst in ((u, v), (v, u)):
+                bounds = edge_latency(src, dst)
+                lo = bounds[0] if bounds is not None else default_lo
+                if floor is None or lo < floor:
+                    floor = lo
+        return default_lo if floor is None else floor
 
     def describe(self) -> dict[str, object]:
         cut = len(self.cross_edges())
@@ -127,13 +148,16 @@ def partition_topology(
         raise SimulationError(
             f"n_shards must be in 1..{topology.n}, got {n_shards}"
         )
-    if isinstance(topology, Clustered):
+    # Weight maps don't change the graph; shard along the base's structure
+    # (a WAN-weighted Clustered still cuts only its bridge edges).
+    base = topology.base if isinstance(topology, Weighted) else topology
+    if isinstance(base, Clustered):
         # The topology knows its own cluster boundaries; use them directly.
         # (arbitration_clusters would pull bridge endpoints into the
         # neighbouring leader's group, fattening the cut from ~3% to ~20%.)
-        members: list[list[int]] = [[] for _ in range(topology.clusters)]
-        for pid in topology.pids:
-            members[topology.cluster_of(pid)].append(pid)
+        members: list[list[int]] = [[] for _ in range(base.clusters)]
+        for pid in base.pids:
+            members[base.cluster_of(pid)].append(pid)
         groups: list[tuple[int, ...]] = [tuple(m) for m in members]
     else:
         clusters = arbitration_clusters(topology)

@@ -154,10 +154,16 @@ class Simulator:
         if unbounded:
             self.network = Network(graph, UnboundedChannel)
         else:
-            self.network = Network(
-                graph, lambda s, d: BoundedChannel(s, d, capacity=capacity)
-            )
+            # Channels are lazy, so the factory may consult self.topology
+            # (set just below) for per-edge capacities at creation time.
+            self.network = Network(graph, self._make_channel)
         self.topology: Topology = self.network.topology
+        # Per-edge latency resolution (Weighted topologies).  None on
+        # unweighted topologies, so the send hot path keeps its straight
+        # self.latency read — and its exact draw sequence.
+        self._edge_latency = (
+            self.topology.edge_latency if self.topology.is_weighted else None
+        )
 
         # Per-directed-channel streams (loss, corruption, latency): created
         # lazily alongside the lazy channel map.  _chan_fast caches, per
@@ -251,6 +257,23 @@ class Simulator:
             self._chan_rngs[(src, dst)] = rng
         return rng
 
+    def _make_channel(self, src: int, dst: int) -> ChannelBase:
+        """Bounded channel sized by the edge's own capacity when the
+        topology carries one (Weighted), else the global capacity."""
+        cap = self.topology.edge_capacity(src, dst)
+        return BoundedChannel(
+            src, dst, capacity=self.capacity if cap is None else cap
+        )
+
+    def latency_for(self, src: int, dst: int) -> tuple[int, int]:
+        """The latency bounds governing the channel ``src -> dst``: the
+        edge's own (Weighted topologies) or the engine's global bounds."""
+        if self._edge_latency is not None:
+            bounds = self._edge_latency(src, dst)
+            if bounds is not None:
+                return bounds
+        return self.latency
+
     # -- message transmission --------------------------------------------------
 
     def _make_chan_fast(
@@ -258,7 +281,7 @@ class Simulator:
     ) -> tuple[ChannelBase, random.Random, Callable[..., int], int, bool]:
         channel = self.network.channel(src, dst)
         rng = self.chan_rng(src, dst)
-        lo, hi = self.latency
+        lo, hi = self.latency_for(src, dst)
         fast = (
             channel,
             rng,
@@ -302,14 +325,21 @@ class Simulator:
 
         The single source of the delivery-time rule: the serial scheduling
         path and every transport of the async engine (:mod:`repro.net`)
-        must go through here, so a change to the rule (e.g. per-edge
-        latency maps) cannot desynchronize the engines.  ``randint`` is
-        the channel stream's draw for the engine's latency bounds — either
-        the stream's bound ``randint`` method or its precompiled equivalent
+        must go through here, so a change to the rule cannot desynchronize
+        the engines.  The bounds are the channel's own — per-edge on
+        :class:`~repro.sim.topology.Weighted` topologies, the engine's
+        global pair otherwise.  ``randint`` is the channel stream's draw
+        for exactly those bounds — either the stream's bound ``randint``
+        method or its precompiled equivalent
         (:func:`~repro.sim.determinism.bound_randint`, cached in
-        ``_chan_fast``); both consume the stream identically.
+        ``_chan_fast``, whose guard rejects mismatched bounds); both
+        consume the stream identically.
         """
-        lo, hi = self.latency
+        edge_latency = self._edge_latency
+        if edge_latency is None:
+            lo, hi = self.latency
+        else:
+            lo, hi = edge_latency(channel.src, channel.dst) or self.latency
         proposed = self.scheduler._now + randint(lo, hi)
         entry.delivery_time = channel.fifo_delivery_time(entry.msg.tag, proposed)
         return entry.delivery_time

@@ -5,8 +5,14 @@
 own ``multiprocessing`` worker, and synchronizes the workers with a
 **conservative time-window protocol**:
 
-* Simulated time is cut into windows of ``window`` ticks, with
-  ``window <= lo`` (the latency lower bound — the engine's *lookahead*).
+* Simulated time is cut into windows of ``window`` ticks, with ``window``
+  bounded by the engine's *lookahead*: the minimum latency lower bound
+  over **cross-shard** edges (:meth:`Partition.latency_floor`).  Intra-shard
+  edges never traverse a barrier, so only the cut constrains the window —
+  on a WAN-weighted clustered topology (intra lo=1, cross lo=16) the
+  window widens from 1 to 16 ticks, an order of magnitude fewer barriers.
+  Without per-edge weights the cut floor equals the global latency lower
+  bound and the classic ``window <= lo`` rule is recovered unchanged.
 * Each worker advances its shard to the window end.  A send whose
   destination lives in another shard admits into the source-side channel
   copy as usual (slot accounting, FIFO clocks and the latency draw are all
@@ -14,8 +20,9 @@ own ``multiprocessing`` worker, and synchronizes the workers with a
   and the message is buffered in the worker's outbox.
 * At the barrier the driver routes every outbox entry to its destination
   shard, which schedules the dispatch at the *sender-computed* delivery
-  time.  Because every delivery time is at least ``send + lo`` and the
-  window never exceeds ``lo``, a message handed over at a barrier is always
+  time.  Because every cross-shard delivery time is at least ``send +``
+  the edge's latency floor and the window never exceeds the minimum such
+  floor over the cut, a message handed over at a barrier is always
   scheduled in the destination's future — no straggler can violate
   causality.
 
@@ -35,6 +42,7 @@ shards; :class:`ShardedSimulator` validates and refuses those up front.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -110,6 +118,14 @@ class ShardedRunResult:
     done_at: int | None
     final_time: int
     partition: Partition
+    #: Synchronization window (ticks) the run used.
+    window: int = 0
+    #: Barriers paid: one per advance round (window-sized steps to the end).
+    barriers: int = 0
+    #: Driver-side synchronization wall time: total barrier round-trip time
+    #: minus each round's slowest worker compute — pipe traffic, outbox
+    #: routing and straggler coordination, the cost wider windows amortize.
+    sync_wall_s: float = 0.0
 
 
 def _worker_main(
@@ -163,11 +179,13 @@ def _worker_loop(
         op = cmd[0]
         if op == "adv":
             _, target, inbox = cmd
-            for src, dst, msg, time, entry_seq in inbox:
-                sim.schedule_remote_arrival(src, dst, msg, time, entry_seq)
+            t0 = time.perf_counter()
+            for src, dst, msg, when, entry_seq in inbox:
+                sim.schedule_remote_arrival(src, dst, msg, when, entry_seq)
             sim.scheduler.run_until(target)
+            compute_s = time.perf_counter() - t0
             done_at = driver.done_at if driver is not None else 0
-            conn.send(("adv-ok", sim.drain_outbox(), done_at))
+            conn.send(("adv-ok", sim.drain_outbox(), done_at, compute_s))
         elif op == "result":
             tag = driver_cfg["tag"] if driver_cfg else None
             finals = {
@@ -196,7 +214,9 @@ class ShardedSimulator:
     Constructor arguments mirror :class:`~repro.sim.runtime.Simulator` where
     they are meaningful across shards; ``shards`` fixes the worker count
     (default: one per arbitration-cluster group) and ``window`` the
-    synchronization window (default and maximum: the latency lower bound).
+    synchronization window (default and maximum: the partition's
+    cross-shard latency floor, :attr:`lookahead` — the global latency
+    lower bound on unweighted topologies).
     """
 
     def __init__(
@@ -239,13 +259,6 @@ class ShardedSimulator:
             raise SimulationError(
                 f"latency bounds must satisfy 1 <= lo <= hi, got {latency}"
             )
-        if window is None:
-            window = lo
-        if not 1 <= window <= lo:
-            raise SimulationError(
-                f"window must be in 1..{lo} (the latency lower bound — the "
-                f"engine's conservative lookahead), got {window}"
-            )
         if "fork" not in multiprocessing.get_all_start_methods():
             raise SimulationError(
                 "the sharded engine needs the 'fork' start method (workers "
@@ -253,6 +266,22 @@ class ShardedSimulator:
             )
         self.topology = topology
         self.partition = partition_topology(topology, shards)
+        #: The engine's conservative lookahead: the minimum latency lower
+        #: bound over cross-shard edges (== the global ``lo`` when the
+        #: topology is unweighted or the partition has no cut).
+        self.lookahead = self.partition.latency_floor(lo)
+        if window is None:
+            window = self.lookahead
+        if not 1 <= window <= self.lookahead:
+            detail = (
+                "the latency lower bound"
+                if self.lookahead == lo
+                else f"the cross-shard latency floor; global lower bound {lo}"
+            )
+            raise SimulationError(
+                f"window must be in 1..{self.lookahead} ({detail} — the "
+                f"engine's conservative lookahead), got {window}"
+            )
         self.window = window
         self.seed = seed
         self._build = build
@@ -355,18 +384,30 @@ class ShardedSimulator:
             completed = False
             done_at: int | None = None
             final_target: int | None = None
+            barriers = 0
+            sync_wall = 0.0
             t = -1
             while final_target is None or t < final_target:
                 cap = horizon if final_target is None else final_target
                 target = min(t + self.window, cap)
+                round_start = time.perf_counter()
                 for conn, inbox in zip(conns, inboxes):
                     conn.send(("adv", target, inbox))
                 inboxes = [[] for _ in conns]
                 done_ticks = []
+                slowest = 0.0
                 for conn in conns:
-                    _, outbox, worker_done = recv(conn, "adv-ok")
+                    _, outbox, worker_done, compute_s = recv(conn, "adv-ok")
                     route(outbox)
                     done_ticks.append(worker_done)
+                    if compute_s > slowest:
+                        slowest = compute_s
+                barriers += 1
+                # Overhead of this barrier: the round trip minus the
+                # critical-path (slowest) worker's simulation time.
+                sync_wall += max(
+                    0.0, time.perf_counter() - round_start - slowest
+                )
                 t = target
                 if final_target is None:
                     if driver is not None and all(d is not None for d in done_ticks):
@@ -417,6 +458,9 @@ class ShardedSimulator:
             done_at=done_at,
             final_time=final_target,
             partition=self.partition,
+            window=self.window,
+            barriers=barriers,
+            sync_wall_s=sync_wall,
         )
 
     # -- trace merging -----------------------------------------------------

@@ -16,13 +16,26 @@ Provided families:
 * :class:`RandomGnp` — an Erdős–Rényi G(n, p) draw, augmented with
   deterministic bridge edges when the draw is disconnected;
 * :class:`Clustered` — complete clusters joined by bridge edges (the shape
-  sharded deployments take).
+  sharded deployments take);
+* :class:`Weighted` — any of the above wrapped with per-edge ``(lo, hi)``
+  latency bounds and per-edge channel capacities (directed or undirected
+  maps), including the :meth:`Weighted.wan` preset: fast cluster-local
+  links, slow cross-cluster bridges.
 
 Protocol semantics on non-complete topologies: a PIF wave spans the
 initiator's *neighbourhood*, IDL learns the ids of the *closed
 neighbourhood*, and ME arbitrates mutual exclusion *per leader cluster*
 (see :func:`arbitration_clusters`); on the complete graph all three collapse
 to the paper's global guarantees.
+
+Edge weights and the engines: the simulator resolves every channel's
+latency bounds through :meth:`Topology.edge_latency` (falling back to its
+global ``latency`` argument) and every channel's capacity through
+:meth:`Topology.edge_capacity`.  Unweighted families return ``None`` for
+every edge, so their runs — including every random draw — are byte-for-byte
+what they were before edge weights existed.  The sharded engine reads the
+weights through :meth:`repro.sim.partition.Partition.latency_floor` to
+widen its synchronization window to the *cross-shard* latency floor.
 """
 
 from __future__ import annotations
@@ -41,6 +54,7 @@ __all__ = [
     "Grid2D",
     "RandomGnp",
     "Clustered",
+    "Weighted",
     "topology_from_spec",
     "arbitration_clusters",
     "TOPOLOGY_SPECS",
@@ -161,6 +175,67 @@ class Topology(abc.ABC):
                 f"channel number {num} out of range 1..{len(neighbors)} at {pid}"
             )
         return neighbors[num - 1]
+
+    # -- edge weights ------------------------------------------------------
+
+    def edge_latency(self, src: int, dst: int) -> tuple[int, int] | None:
+        """Latency bounds ``(lo, hi)`` owned by the directed edge
+        ``src -> dst``, or None to use the engine's global bounds.
+
+        Unweighted families return None for **every** edge, so the engines
+        keep drawing from their global bounds — behaviour (and random
+        stream consumption) byte-for-byte unchanged.
+        """
+        return None
+
+    def edge_capacity(self, src: int, dst: int) -> int | None:
+        """Channel capacity owned by the directed edge ``src -> dst``, or
+        None to use the engine's global capacity."""
+        return None
+
+    @property
+    def is_weighted(self) -> bool:
+        """True when some edge may carry its own latency/capacity weights.
+
+        The engines consult this once at construction: a False here lets
+        the send hot path skip per-edge resolution entirely.
+        """
+        return False
+
+    def weight_stats(
+        self,
+        default_latency: tuple[int, int] = (1, 3),
+        default_capacity: int = 1,
+    ) -> dict[str, Any]:
+        """Edge-weight summary over every directed edge (CLI tables).
+
+        Defaults fill in for edges without explicit weights — pass the
+        engine's global latency/capacity to see the bounds a run would
+        actually use.
+        """
+        los: list[int] = []
+        his: list[int] = []
+        caps: list[int] = []
+        weighted_edges = 0
+        for src, dst in self.directed_edges():
+            bounds = self.edge_latency(src, dst)
+            cap = self.edge_capacity(src, dst)
+            if bounds is not None or cap is not None:
+                weighted_edges += 1
+            lo, hi = bounds if bounds is not None else default_latency
+            los.append(lo)
+            his.append(hi)
+            caps.append(cap if cap is not None else default_capacity)
+        return {
+            "directed_edges": len(los),
+            "weighted_edges": weighted_edges,
+            "latency_lo_min": min(los),
+            "latency_lo_max": max(los),
+            "latency_hi_min": min(his),
+            "latency_hi_max": max(his),
+            "capacity_min": min(caps),
+            "capacity_max": max(caps),
+        }
 
     # -- metadata ----------------------------------------------------------
 
@@ -409,6 +484,130 @@ class Clustered(Topology):
         return f"clustered({self.clusters}x{self.cluster_size})"
 
 
+class Weighted(Topology):
+    """Per-edge latency/capacity weights layered over a base topology.
+
+    ``latency`` maps edges to ``(lo, hi)`` latency bounds, ``capacity``
+    maps edges to channel capacities; edges absent from a map fall back to
+    the engine's global setting.  Keys are ``(u, v)`` pid pairs; with
+    ``directed=False`` (the default) each key weighs both directions of the
+    edge, with ``directed=True`` keys name one unidirectional channel each
+    (an asymmetric link is two entries).
+
+    The graph itself — adjacency, channel numbering, diameter — is exactly
+    the base topology's; only the weight lookups differ.  Per-channel
+    random streams are keyed by ``(src, dst)``, not by the bounds, so a
+    weighted run stays bit-identical across the serial, sharded and async
+    engines (each channel draws from its own stream within its own
+    bounds).
+    """
+
+    kind = "weighted"
+
+    def __init__(
+        self,
+        base: Topology,
+        *,
+        latency: Mapping[tuple[int, int], tuple[int, int]] | None = None,
+        capacity: Mapping[tuple[int, int], int] | None = None,
+        directed: bool = False,
+    ) -> None:
+        if isinstance(base, Weighted):
+            raise SimulationError("cannot wrap a Weighted topology again")
+        self.base = base
+        self.directed = directed
+        self._latency = self._normalize(base, latency, directed)
+        for edge, bounds in self._latency.items():
+            try:
+                lo, hi = bounds
+            except (TypeError, ValueError):
+                raise SimulationError(
+                    f"edge {edge} latency must be a (lo, hi) pair, got {bounds!r}"
+                ) from None
+            if not 1 <= lo <= hi:
+                raise SimulationError(
+                    f"edge {edge} latency bounds must satisfy 1 <= lo <= hi, "
+                    f"got {bounds}"
+                )
+        self._capacity = self._normalize(base, capacity, directed)
+        for edge, cap in self._capacity.items():
+            if not isinstance(cap, int) or cap < 1:
+                raise SimulationError(
+                    f"edge {edge} capacity must be an int >= 1, got {cap!r}"
+                )
+        super().__init__(base.pids)
+
+    @staticmethod
+    def _normalize(
+        base: Topology, mapping: Mapping[tuple[int, int], Any] | None, directed: bool
+    ) -> dict[tuple[int, int], Any]:
+        """Expand a weight map to directed-edge keys, validating adjacency."""
+        normalized: dict[tuple[int, int], Any] = {}
+        if mapping is None:
+            return normalized
+        for (u, v), value in mapping.items():
+            if not base.adjacent(u, v):
+                raise SimulationError(
+                    f"weight map names ({u}, {v}), not an edge of {base.name}"
+                )
+            normalized[(u, v)] = value
+            if not directed:
+                normalized[(v, u)] = value
+        return normalized
+
+    @classmethod
+    def wan(
+        cls,
+        base: Topology,
+        *,
+        local: tuple[int, int] = (1, 3),
+        remote: tuple[int, int] = (16, 32),
+    ) -> "Weighted":
+        """The WAN preset: fast intra-cluster links, slow cross-cluster ones.
+
+        Every edge inside a cluster gets the ``local`` bounds, every edge
+        between clusters the ``remote`` bounds (defaults model ~1-3 tick
+        LAN hops vs ~16-32 tick WAN hops).  Clusters are the base's own
+        (:class:`Clustered`) or its arbitration clusters otherwise.  The
+        remote floor is what the sharded engine's cross-shard lookahead
+        picks up on cluster-aligned partitions.
+        """
+        if isinstance(base, Clustered):
+            group = {p: base.cluster_of(p) for p in base.pids}
+        else:
+            clusters = arbitration_clusters(base)
+            group = {}
+            for index, leader in enumerate(sorted(clusters)):
+                for member in clusters[leader]:
+                    group[member] = index
+        latency = {
+            (u, v): (local if group[u] == group[v] else remote)
+            for u, v in base.edges()
+        }
+        weighted = cls(base, latency=latency)
+        weighted.kind = "wan"
+        weighted.local_latency = tuple(local)
+        weighted.remote_latency = tuple(remote)
+        return weighted
+
+    def _edges(self, pids: tuple[int, ...]) -> Iterable[tuple[int, int]]:
+        return self.base.edges()
+
+    def edge_latency(self, src: int, dst: int) -> tuple[int, int] | None:
+        return self._latency.get((src, dst))
+
+    def edge_capacity(self, src: int, dst: int) -> int | None:
+        return self._capacity.get((src, dst))
+
+    @property
+    def is_weighted(self) -> bool:
+        return True
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}[{self.base.name}]"
+
+
 # -- spec strings (CLI / scenario matrix) ----------------------------------
 
 #: Accepted ``--topology`` spec strings (``name`` or ``name:arg``).
@@ -419,6 +618,7 @@ TOPOLOGY_SPECS = (
     "grid (or grid:RxC)",
     "gnp:P (edge probability, default 0.35)",
     "clustered:K (K clusters, n divisible by K)",
+    "wan:K (clustered:K with fast intra-cluster and slow cross-cluster edges)",
 )
 
 
@@ -462,6 +662,11 @@ def topology_from_spec(spec: str, n: int, seed: int = 0) -> Topology:
         if n % k != 0:
             raise SimulationError(f"n={n} is not divisible into {k} clusters")
         return Clustered(k, n // k)
+    if name == "wan":
+        k = int(arg) if arg else 2
+        if n % k != 0:
+            raise SimulationError(f"n={n} is not divisible into {k} clusters")
+        return Weighted.wan(Clustered(k, n // k))
     raise SimulationError(
         f"unknown topology spec {spec!r}; one of: {', '.join(TOPOLOGY_SPECS)}"
     )

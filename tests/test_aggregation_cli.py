@@ -68,7 +68,7 @@ class TestCli:
         parser = build_parser()
         for command in ("list", "figure1", "impossibility", "pif", "idl",
                         "mutex", "compare", "scaling", "ablations",
-                        "property1", "capacity"):
+                        "property1", "capacity", "topology"):
             args = parser.parse_args([command] if command != "pif" else ["pif"])
             assert args.command == command
 
@@ -100,6 +100,29 @@ class TestCli:
     def test_scaling(self, capsys):
         assert main(["scaling", "--ns", "2", "3", "--seeds", "0"]) == 0
         assert "wave cost" in capsys.readouterr().out
+
+    def test_topology_reports_weight_stats(self, capsys):
+        assert main(["topology", "--n", "32", "--topology", "wan:4"]) == 0
+        out = capsys.readouterr().out
+        assert "wan[clustered(4x8)]" in out
+        assert "latency_lo_max" in out and "16" in out
+        assert "cross_shard_latency_floor" in out
+
+    def test_pif_accepts_wan_flag(self, capsys):
+        assert main(["pif", "--n", "4", "--wan", "--seeds", "0", "--loss", "0",
+                     "--requests", "1"]) == 0
+        assert "wan[clustered(2x2)]" in capsys.readouterr().out
+
+    def test_pif_accepts_latency_map(self, capsys):
+        assert main(["pif", "--n", "3", "--topology", "ring", "--latency-map",
+                     "1-2=4:9", "--seeds", "0", "--loss", "0",
+                     "--requests", "1"]) == 0
+        assert "weighted[ring(3)]" in capsys.readouterr().out
+
+    def test_bad_latency_map_entry_rejected(self, capsys):
+        assert main(["pif", "--n", "3", "--topology", "ring",
+                     "--latency-map", "1-2", "--seeds", "0"]) != 0
+        assert "bad --latency-map entry" in capsys.readouterr().err
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

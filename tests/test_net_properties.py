@@ -11,7 +11,10 @@ The channel-capacity axis rides in both the fuzzed equivalence property and
 a dedicated capacity-focused variant (wider flag domains per the paper's
 "capacity-c extension": ``max_state = capacity + 3``), closing the
 ROADMAP's "capacity axis still unfuzzed" gap with serial output as the
-oracle.
+oracle.  A third property fuzzes per-edge latency maps: arbitrary (lo, hi)
+bounds drawn for a subset of a Ring/Clustered base's edges, wrapped in
+:class:`~repro.sim.topology.Weighted` — weighted draws must stay engine-
+independent because each channel owns its RNG stream.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ from hypothesis import strategies as st  # noqa: E402
 from repro.analysis.runner import execute_trial  # noqa: E402
 from repro.core.pif import PifLayer  # noqa: E402
 from repro.errors import SimulationError  # noqa: E402
-from repro.sim.topology import topology_from_spec  # noqa: E402
+from repro.sim.topology import Weighted, topology_from_spec  # noqa: E402
 
 _PIF_DRIVER = dict(
     tag="pif", requests_per_process=1, payload=lambda pid, k: f"m-{pid}-{k}"
@@ -123,3 +126,54 @@ def test_capacity_axis_fuzz_serial_oracle(capacity, loss, seed):
         serial.trace, "pif", serial.pids, final_requests=serial.finals
     )
     assert verdict.ok, verdict.summary()
+
+
+@given(
+    spec=st.sampled_from(["ring", "clustered:2"]),
+    n=st.integers(min_value=4, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+    directed=st.booleans(),
+    data=st.data(),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_per_edge_latency_map_fuzz_serial_oracle(spec, n, seed, directed, data):
+    """Per-edge latency-map fuzz: weighted draws are engine-independent.
+
+    Draws arbitrary (lo, hi) bounds for a subset of a Ring/Clustered base's
+    edges — undirected (expanded to both directions) or directed (reverse
+    direction falls back to the global latency) — and asserts the loopback
+    engine reproduces the serial engine bit for bit.  This holds because
+    each directed channel owns its RNG stream, so a weighted edge's draw
+    sequence depends only on (root seed, channel, draw count), never on
+    which engine interleaved the other edges' events around it.
+    """
+    try:  # clustered:2 needs an even n
+        base = topology_from_spec(spec, n, seed=seed)
+    except SimulationError:
+        assume(False)
+    edges = sorted(base.edges())
+    picked = data.draw(
+        st.lists(st.sampled_from(edges), unique=True,
+                 min_size=1, max_size=len(edges)),
+        label="weighted edges",
+    )
+    latency = {}
+    for u, v in picked:
+        lo = data.draw(st.integers(min_value=1, max_value=8),
+                       label=f"lo {u}-{v}")
+        hi = lo + data.draw(st.integers(min_value=0, max_value=8),
+                            label=f"hi-lo {u}-{v}")
+        latency[(u, v)] = (lo, hi)
+    top = Weighted(base, latency=latency, directed=directed)
+
+    runs = {}
+    for engine in ("serial", "async"):
+        runs[engine] = execute_trial(
+            n, _build, topology=top, seed=seed, scramble=True,
+            driver=_PIF_DRIVER, horizon=2_000_000, engine=engine,
+        )
+    _assert_bit_identical(runs["serial"], runs["async"])

@@ -12,6 +12,7 @@ from repro.sim.topology import (
     Grid2D,
     RandomGnp,
     Ring,
+    Weighted,
     arbitration_clusters,
     topology_from_spec,
 )
@@ -106,6 +107,62 @@ class TestClusterAlignment:
         topology = topology_from_spec("clustered:2", 8)
         partition = partition_topology(topology)
         assert partition.n_shards >= 1
+
+
+class TestLatencyFloor:
+    """The cross-shard latency floor — the sharded engine's lookahead."""
+
+    def test_unweighted_floor_is_the_global_lo(self):
+        partition = partition_topology(Clustered(2, 4), 2)
+        assert partition.latency_floor(1) == 1
+        assert partition.latency_floor(7) == 7
+
+    def test_wan_cut_raises_the_floor(self):
+        partition = partition_topology(Weighted.wan(Clustered(2, 4)), 2)
+        assert partition.latency_floor(1) == 16
+
+    def test_floor_is_the_minimum_over_the_cut(self):
+        # Two cross edges, one slow and one moderately slow: the window can
+        # only grow to the *fastest* cut edge.
+        top = Weighted(
+            Grid2D(2, 4),
+            latency={edge: (4, 8) for edge in [(2, 6), (4, 8)]}
+            | {(1, 5): (9, 9), (3, 7): (30, 40)},
+        )
+        partition = Partition(topology=top, shards=((1, 2, 3, 4), (5, 6, 7, 8)))
+        assert partition.latency_floor(1) == 4
+
+    def test_unweighted_cut_edges_fall_back_to_default(self):
+        # Only one of the two cut edges carries bounds; the bare one pins
+        # the floor at the engine's global lower bound.
+        top = Weighted(Grid2D(2, 2), latency={(1, 3): (16, 32)})
+        partition = Partition(topology=top, shards=((1, 2), (3, 4)))
+        assert sorted(partition.cross_edges()) == [(1, 3), (2, 4)]
+        assert partition.latency_floor(2) == 2
+
+    def test_directed_asymmetric_edge_floor_is_the_faster_direction(self):
+        # Both directions of each cut edge constrain the window; an
+        # asymmetric link is only as good as its faster direction.
+        top = Weighted(Clustered(2, 2),
+                       latency={(1, 3): (16, 32), (3, 1): (4, 8)},
+                       directed=True)
+        partition = partition_topology(top, 2)
+        assert partition.cross_edges() == [(1, 3)]
+        assert partition.latency_floor(1) == 4
+
+    def test_single_shard_returns_default(self):
+        partition = partition_topology(Weighted.wan(Clustered(2, 4)), 1)
+        assert partition.cross_edges() == []
+        assert partition.latency_floor(3) == 3
+
+    def test_weighted_partition_aligns_with_base_clusters(self):
+        # partition_topology must see through the wrapper to the Clustered
+        # boundaries so WAN cuts stay thin.
+        partition = partition_topology(Weighted.wan(Clustered(4, 8)), 4)
+        assert partition.shards == tuple(
+            tuple(range(k * 8 + 1, (k + 1) * 8 + 1)) for k in range(4)
+        )
+        assert partition.describe()["cut_fraction"] < 0.1
 
 
 class TestValidation:

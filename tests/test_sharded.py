@@ -169,6 +169,28 @@ class TestValidation:
             sharded.run_trial(horizon=100, driver=_PIF_DRIVER, drain=2)
 
 
+class TestWeightedTopologies:
+    def test_wan_widened_window_bit_identical(self):
+        # wan:4 puts lo=16 on every cut edge, so the cross-shard lookahead
+        # runs 16-tick windows over a global (1, 3) latency — cross-shard
+        # handoffs span many engine ticks per barrier and must still land
+        # exactly where the serial engine delivers them.
+        serial, sharded = _both(
+            32, _pif_build, _PIF_DRIVER, topology="wan:4", seed=0, loss=0.1,
+        )
+        assert sharded.window == 16
+        _assert_bit_identical(serial, sharded)
+
+    def test_weighted_run_reports_barrier_provenance(self):
+        _, sharded = _both(
+            32, _pif_build, _PIF_DRIVER, topology="wan:4", seed=0,
+        )
+        prov = sharded.provenance()
+        assert prov["window"] == 16
+        assert prov["barriers"] > 0
+        assert prov["sync_wall_s"] >= 0.0
+
+
 class TestWiderWindows:
     def test_wide_latency_wide_window_still_bit_identical(self):
         # window = lookahead = 6: several ticks per barrier, cross-shard
