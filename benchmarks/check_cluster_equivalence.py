@@ -1,0 +1,146 @@
+"""CI gate: prove the multi-host cluster engine equals the serial engine.
+
+Runs E3 (PIF) and E5 (ME) on the Complete, Ring and WAN-weighted
+Clustered topologies at n <= 16 with ``engine=serial`` and
+``engine=cluster`` (2-4 localhost worker interpreters — real OS
+processes, real sockets, BARRIER-synchronized windows) and fails on any
+divergence in the trace-derived metrics.  On top of the metric
+comparison it re-executes one PIF probe case and compares the raw traces
+event for event plus the canonical trace hash — windowed mode's
+bit-identity proof obligation — and asserts every online monitor agreed
+with the offline verdict.
+
+``--freerun-smoke`` additionally runs one E3 trial in ``sync=freerun``
+mode (best-effort progress, online monitors are the verdict) and
+requires completion with all monitors passing; ``--freerun-only`` runs
+just that smoke.  Freerun is wall-clock dependent, so CI keeps it
+non-gating; the windowed gate is the hard contract.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_cluster_equivalence.py \
+        [--freerun-smoke | --freerun-only]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.runner import execute_trial, run_mutex_trial, run_pif_trial
+from repro.core.pif import PifLayer
+from repro.sim.trace import canonical_trace_hash
+
+#: (label, runner, n, hosts, trial kwargs) — every topology family the
+#: partition layer distinguishes (complete: all-pairs cut; ring: two
+#: neighbour arcs per shard; wan:4: weighted cross-cluster edges that
+#: widen the sync window), each small enough for a laptop or CI runner.
+CASES = [
+    ("E3 pif  complete n=8  hosts=2", run_pif_trial, 8, 2,
+     dict(topology=None, seed=0, loss=0.1, requests_per_process=1)),
+    ("E3 pif  ring     n=12 hosts=3", run_pif_trial, 12, 3,
+     dict(topology="ring", seed=0, loss=0.1, requests_per_process=1)),
+    ("E3 pif  wan      n=16 hosts=4", run_pif_trial, 16, 4,
+     dict(topology="wan:4", seed=0, loss=0.1, requests_per_process=1)),
+    ("E5 me   complete n=6  hosts=2", run_mutex_trial, 6, 2,
+     dict(topology=None, seed=1, loss=0.0, requests_per_process=1)),
+    ("E5 me   ring     n=8  hosts=2", run_mutex_trial, 8, 2,
+     dict(topology="ring", seed=1, loss=0.0, requests_per_process=1)),
+    ("E5 me   wan      n=8  hosts=4", run_mutex_trial, 8, 4,
+     dict(topology="wan:4", seed=3, loss=0.0, requests_per_process=1)),
+]
+
+
+def check_metrics() -> bool:
+    ok = True
+    for name, runner, n, hosts, kwargs in CASES:
+        t0 = time.perf_counter()
+        serial = runner(n, engine="serial", **kwargs)
+        t1 = time.perf_counter()
+        cluster = runner(n, engine="cluster", hosts=hosts, **kwargs)
+        t2 = time.perf_counter()
+        same = (
+            serial.ok == cluster.ok
+            and serial.violations == cluster.violations
+            and serial.measurements == cluster.measurements
+            and cluster.provenance.get("monitors_ok", False) == cluster.ok
+            and cluster.provenance.get("hosts") == hosts
+        )
+        ok &= same
+        verdict = "OK " if same else "DIVERGED"
+        print(f"{verdict} {name}  serial={t1 - t0:.1f}s cluster={t2 - t1:.1f}s "
+              f"barriers={cluster.provenance.get('barriers')} "
+              f"metrics={serial.measurements}")
+        if not same:
+            print(f"     serial : ok={serial.ok} violations={serial.violations} "
+                  f"{serial.measurements}")
+            print(f"     cluster: ok={cluster.ok} violations={cluster.violations} "
+                  f"{cluster.measurements} provenance={cluster.provenance}")
+    return ok
+
+
+def check_bit_identity(topology: str | None, n: int, hosts: int) -> bool:
+    """The probe case: the merged cluster trace must equal the serial
+    trace event for event, and hash identically under the canonical
+    trace hash."""
+    driver = dict(tag="pif", requests_per_process=1,
+                  payload_fmt="m-{pid}-{k}")
+    runs = {}
+    for engine, extra in (("serial", {}), ("cluster", {"hosts": hosts})):
+        runs[engine] = execute_trial(
+            n, lambda h: h.register(PifLayer("pif")),
+            topology=topology, seed=0, loss=0.1,
+            driver=dict(driver), horizon=2_000_000, engine=engine,
+            protocol={"kind": "pif"}, **extra,
+        )
+    serial_events = [(e.time, e.kind, e.process, e.data)
+                     for e in runs["serial"].trace]
+    cluster_events = [(e.time, e.kind, e.process, e.data)
+                      for e in runs["cluster"].trace]
+    hashes = (
+        canonical_trace_hash(runs["serial"].trace),
+        canonical_trace_hash(runs["cluster"].trace),
+    )
+    same = (
+        serial_events == cluster_events
+        and hashes[0] == hashes[1]
+        and runs["serial"].stats.as_dict() == runs["cluster"].stats.as_dict()
+        and runs["serial"].final_time == runs["cluster"].final_time
+        and runs["serial"].completions == runs["cluster"].completions
+    )
+    print(("OK " if same else "DIVERGED")
+          + f" bit-identity {topology or 'complete'} n={n} hosts={hosts} "
+          f"({len(serial_events)} trace events, hash {hashes[0][:16]}.. vs "
+          f"{hashes[1][:16]}..)")
+    return same
+
+
+def freerun_smoke() -> bool:
+    """One E3 trial in freerun mode; every online monitor must pass."""
+    t0 = time.perf_counter()
+    trial = run_pif_trial(8, engine="cluster", hosts=2, sync="freerun",
+                          seed=0, loss=0.1, requests_per_process=1)
+    wall = time.perf_counter() - t0
+    ok = bool(trial.ok and trial.provenance.get("monitors_ok"))
+    print(("OK " if ok else "FAILED")
+          + f" freerun smoke E3 n=8 hosts=2: ok={trial.ok} wall={wall:.1f}s "
+          f"monitors_ok={trial.provenance.get('monitors_ok')} "
+          f"metrics={trial.measurements}")
+    return ok
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    ok = True
+    if "--freerun-only" not in args:
+        ok = check_metrics()
+        ok &= check_bit_identity(None, 8, 2)
+        ok &= check_bit_identity("wan:4", 16, 4)
+    if "--freerun-smoke" in args or "--freerun-only" in args:
+        ok &= freerun_smoke()
+    print("cluster-equivalence:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

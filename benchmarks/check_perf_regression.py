@@ -1,0 +1,143 @@
+"""Compare a fresh BENCH_perf.json against the committed baseline.
+
+Reads the committed ``benchmarks/baselines/BENCH_perf_baseline.json`` and
+a freshly produced ``BENCH_perf.json`` (``perf_suite.py``'s output),
+compares every timing key — summary timings and per-case medians — and
+prints a per-key delta table.  When ``$GITHUB_STEP_SUMMARY`` is set the
+table is also appended there as markdown, so the drift is visible on the
+workflow run page without downloading artifacts.
+
+Keys whose delta exceeds the tolerance (default +/-30%) are flagged.
+Counter-style summary keys (window sizes, barrier counts) must match
+exactly — a changed barrier count is a protocol change, not timing noise.
+
+Exit code: 0 when every timing key is within tolerance, 1 otherwise.
+CI runs this **non-gating** (shared-runner wall clock is informational —
+the equivalence gates carry correctness), so the exit code feeds a
+visible warning, not a red build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_perf_regression.py \
+        [--current BENCH_perf.json] [--baseline ...] [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_perf_baseline.json"
+
+#: Summary keys that are protocol counters, not timings: they must be
+#: bit-equal across runs of the same code on any machine.
+EXACT_KEYS = frozenset({"sharded_window_wan_n128", "sharded_barriers_wan_n128"})
+
+
+def timing_keys(doc: dict) -> dict[str, float]:
+    keys = {
+        f"summary.{key}": value
+        for key, value in doc.get("summary", {}).items()
+        if isinstance(value, (int, float)) and key not in EXACT_KEYS
+    }
+    for case in doc.get("cases", []):
+        keys[f"case.{case['case']}.median_s"] = case["median_s"]
+    return keys
+
+
+def exact_keys(doc: dict) -> dict[str, object]:
+    return {
+        f"summary.{key}": value
+        for key, value in doc.get("summary", {}).items()
+        if key in EXACT_KEYS
+    }
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> tuple[list[list[str]], bool]:
+    base_timings = timing_keys(baseline)
+    cur_timings = timing_keys(current)
+    rows: list[list[str]] = []
+    ok = True
+    for key in sorted(set(base_timings) | set(cur_timings)):
+        base = base_timings.get(key)
+        cur = cur_timings.get(key)
+        if base is None or cur is None:
+            rows.append([key, fmt(base), fmt(cur), "-", "MISSING"])
+            # A renamed or dropped key is suite drift, not a regression:
+            # flag it in the table but leave the verdict to timing keys.
+            continue
+        if base == 0:
+            delta = 0.0 if cur == 0 else float("inf")
+        else:
+            delta = (cur - base) / base
+        within = abs(delta) <= tolerance
+        ok &= within
+        rows.append([key, fmt(base), fmt(cur), f"{delta:+.1%}",
+                     "ok" if within else "DRIFT"])
+    for key in sorted(set(exact_keys(baseline)) | set(exact_keys(current))):
+        base = exact_keys(baseline).get(key)
+        cur = exact_keys(current).get(key)
+        same = base == cur
+        ok &= same
+        rows.append([key, str(base), str(cur), "exact",
+                     "ok" if same else "CHANGED"])
+    return rows, ok
+
+
+def fmt(value: float | None) -> str:
+    return "-" if value is None else f"{value:.4f}"
+
+
+def render_text(rows: list[list[str]]) -> str:
+    headers = ["key", "baseline", "current", "delta", "verdict"]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              for i in range(len(headers))]
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-+-".join("-" * w for w in widths))
+    lines += [" | ".join(c.ljust(w) for c, w in zip(row, widths))
+              for row in rows]
+    return "\n".join(lines)
+
+
+def render_markdown(rows: list[list[str]], tolerance: float, ok: bool) -> str:
+    lines = [
+        "### Perf vs baseline "
+        + ("✅ within tolerance" if ok else "⚠️ drift beyond tolerance"),
+        "",
+        f"Tolerance: ±{tolerance:.0%} (non-gating; shared-runner wall clock "
+        f"is informational)",
+        "",
+        "| key | baseline | current | delta | verdict |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    lines += ["| " + " | ".join(row) + " |" for row in rows]
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=Path, default=Path("BENCH_perf.json"))
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative drift per timing key (0.30 = ±30%%)")
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    rows, ok = compare(baseline, current, args.tolerance)
+    print(render_text(rows))
+    print(f"\nperf-regression: {'PASS' if ok else 'DRIFT'} "
+          f"(tolerance ±{args.tolerance:.0%})")
+
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a", encoding="utf-8") as fh:
+            fh.write(render_markdown(rows, args.tolerance, ok))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

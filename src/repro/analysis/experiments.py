@@ -271,6 +271,8 @@ def run_topology_matrix(
     tick: float | None = None,
     horizon: int | None = None,
     latency: tuple[int, int] = (1, 3),
+    hosts: int | None = None,
+    sync: str | None = None,
 ) -> list[dict[str, Any]]:
     """E11: the topology × fault scenario matrix.
 
@@ -282,8 +284,8 @@ def run_topology_matrix(
     flag marks cells whose edges carry their own latency bounds, so uniform
     vs WAN cells of the same graph sit side by side.
     ``engine`` selects the execution backend (``serial``/``sharded``/
-    ``async``); serial, sharded and async-loopback produce identical rows
-    for the same seeds.
+    ``async``/``cluster``); serial, sharded, async-loopback and
+    cluster-windowed produce identical rows for the same seeds.
     """
     from repro.analysis.runner import run_mutex_trial, run_pif_trial
     from repro.sim.topology import topology_from_spec
@@ -315,7 +317,8 @@ def run_topology_matrix(
                     n, seed=seed, loss=loss, topology=top,
                     requests_per_process=1, latency=latency,
                     engine=engine, shards=shards, window=window,
-                    transport=transport, tick=tick, **extra,
+                    transport=transport, tick=tick,
+                    hosts=hosts, sync=sync, **extra,
                 )
                 ok += 1 if trial.ok else 0
                 violations += trial.violations

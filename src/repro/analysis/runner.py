@@ -29,6 +29,7 @@ from repro.core.mutex import MutexLayer
 from repro.core.pif import PifLayer
 from repro.core.requests import CompletedRequest, RequestDriver
 from repro.errors import HorizonExceeded, SimulationError
+from repro.net.cluster import ClusterSimulator, payload_from_fmt
 from repro.net.engine import AsyncSimulator
 from repro.net.monitors import MonitorReport, default_monitors
 from repro.sim.channel import BernoulliLoss, NoLoss
@@ -133,11 +134,17 @@ class EngineRun:
     wall_clock_s: float = 0.0
     #: Online monitor verdicts (async engine; empty elsewhere).
     monitor_reports: list[MonitorReport] = field(default_factory=list)
-    #: Sharded-engine provenance: the active synchronization window, the
+    #: Sharded/cluster provenance: the active synchronization window, the
     #: barriers paid and the driver-side sync overhead (None elsewhere).
     window: int | None = None
     barriers: int | None = None
     sync_wall_s: float | None = None
+    #: Cluster provenance: worker-interpreter count, sync mode, per-shard
+    #: simulation wall clock and rendezvous round trips (None elsewhere).
+    hosts: int | None = None
+    sync: str | None = None
+    worker_wall_s: dict[int, float] | None = None
+    registry_round_trips: int | None = None
 
     def latencies(self) -> list[int]:
         return [c.latency for c in self.completions]
@@ -157,6 +164,14 @@ class EngineRun:
             record["window"] = self.window
             record["barriers"] = self.barriers
             record["sync_wall_s"] = round(self.sync_wall_s or 0.0, 4)
+        if self.hosts is not None:
+            record["hosts"] = self.hosts
+            record["sync"] = self.sync
+            record["worker_wall_s"] = {
+                shard: round(seconds, 4)
+                for shard, seconds in (self.worker_wall_s or {}).items()
+            }
+            record["registry_round_trips"] = self.registry_round_trips
         if self.monitor_reports:
             record["monitors_ok"] = self.monitors_ok
             record["monitors"] = [
@@ -226,6 +241,10 @@ def execute_trial(
     transport: str = "loopback",
     tick: float | None = None,
     round_budget: int | None = None,
+    hosts: int | None = None,
+    sync: str | None = None,
+    cluster_listen: str | None = None,
+    protocol: dict[str, Any] | None = None,
 ) -> EngineRun:
     """Run one driven trial on the selected engine.
 
@@ -235,17 +254,30 @@ def execute_trial(
     :data:`DRAIN_TICKS` more ticks.  ``engine`` selects the backend:
 
     * ``"serial"`` — one in-process scheduler;
-    * ``"sharded"`` — topology partitioned across worker processes
+    * ``"sharded"`` — topology partitioned across forked worker processes
       (``shards``/``window``);
     * ``"async"`` — the asyncio runtime (:mod:`repro.net`); ``transport``
       selects ``"loopback"`` (deterministic) or ``"tcp"`` (real localhost
       sockets, ``tick`` seconds per tick), with online spec monitors
-      attached either way.
+      attached either way;
+    * ``"cluster"`` — the multi-host runtime (:mod:`repro.net.cluster`):
+      ``hosts`` worker *interpreters* (fresh OS processes over real
+      sockets), each hosting one shard's AsyncSimulator slice.
+      ``sync="windowed"`` (default) reproduces serial results exactly;
+      ``sync="freerun"`` is best-effort and carries its correctness in
+      the replayed monitor verdicts.  Needs a picklable ``protocol`` spec
+      (build closures cannot cross interpreters) and a driver config
+      whose payload is a ``payload_fmt`` string.  ``cluster_listen``
+      binds the rendezvous registry on a fixed address and waits for
+      hand-launched ``repro cluster-worker`` processes instead of
+      spawning localhost workers.
 
-    ``serial``, ``sharded`` and ``async``+``loopback`` return bit-identical
-    traces, stats, finals and completions for the same arguments; run
-    provenance (engine, transport, wall clock, monitor verdicts) rides on
-    the :class:`EngineRun` without entering the compared state.
+    ``serial``, ``sharded``, ``async``+``loopback`` and
+    ``cluster``+``windowed`` return bit-identical traces, stats, finals
+    and completions for the same arguments; run provenance (engine,
+    transport, wall clock, barriers, worker wall clocks, monitor
+    verdicts) rides on the :class:`EngineRun` without entering the
+    compared state.
 
     ``round_budget`` (serial only) aborts the run with
     :class:`~repro.errors.HorizonExceeded` once more than that many
@@ -255,7 +287,12 @@ def execute_trial(
     """
     top = _resolve_topology(n, topology, seed)
     scramble_seed = seed ^ 0x5EED
+    driver = dict(driver)
     tag = driver["tag"]
+    if engine != "cluster" and "payload_fmt" in driver:
+        # The picklable spelling works on every engine: expand it to the
+        # equivalent callable here so RequestDriver stays format-agnostic.
+        driver["payload"] = payload_from_fmt(driver.pop("payload_fmt"))
     if round_budget is not None and engine != "serial":
         raise SimulationError(
             f"round_budget requires engine='serial', got {engine!r}"
@@ -265,10 +302,24 @@ def execute_trial(
             f"transport={transport!r}/tick={tick!r} require engine='async', "
             f"got {engine!r} (did you forget --engine async?)"
         )
-    if engine != "sharded" and (shards is not None or window is not None):
+    if engine not in ("sharded", "cluster") and (
+        shards is not None or window is not None
+    ):
         raise SimulationError(
-            f"shards={shards!r}/window={window!r} require engine='sharded', "
-            f"got {engine!r} (did you forget --engine sharded?)"
+            f"shards={shards!r}/window={window!r} require engine='sharded' "
+            f"or 'cluster', got {engine!r} (did you forget --engine sharded?)"
+        )
+    if engine != "cluster" and (
+        hosts is not None or sync is not None or cluster_listen is not None
+    ):
+        raise SimulationError(
+            f"hosts={hosts!r}/sync={sync!r}/cluster_listen={cluster_listen!r} "
+            f"require engine='cluster', got {engine!r} "
+            f"(did you forget --engine cluster?)"
+        )
+    if engine == "cluster" and shards is not None:
+        raise SimulationError(
+            "the cluster engine sizes its partition with hosts=, not shards="
         )
     if tick is not None and transport != "tcp":
         raise SimulationError(
@@ -384,8 +435,57 @@ def execute_trial(
             wall_clock_s=time.perf_counter() - start_clock,
             monitor_reports=result.monitor_reports,
         )
+    if engine == "cluster":
+        cluster = ClusterSimulator(
+            n if top is None else None,
+            protocol,
+            topology=top,
+            seed=seed,
+            hosts=hosts,
+            window=window,
+            sync=sync or "windowed",
+            loss=_loss_model(loss),
+            capacity=capacity,
+            latency=latency,
+            listen=cluster_listen,
+        )
+        result = cluster.run_trial(
+            horizon=horizon,
+            scramble_seed=scramble_seed if scramble else None,
+            driver=driver,
+            drain=DRAIN_TICKS,
+        )
+        # The workers ran monitor-free (their slices see only local
+        # emissions); replay the online automata over the merged trace.
+        # Windowed runs merge to the exact serial trace, so the verdicts
+        # agree with the offline checkers; freerun runs make these the
+        # correctness claim.
+        monitors = default_monitors(tag, cluster.topology)
+        for event_time, kind, process, data in result.trace.scan():
+            for monitor in monitors:
+                monitor.observe(event_time, kind, process, data)
+        return EngineRun(
+            trace=result.trace,
+            stats=result.stats,
+            finals=result.finals,
+            completions=result.completions,
+            completed=result.completed,
+            final_time=result.final_time,
+            topology=cluster.topology,
+            pids=cluster.pids,
+            engine=engine,
+            wall_clock_s=time.perf_counter() - start_clock,
+            monitor_reports=[m.report() for m in monitors],
+            window=result.window,
+            barriers=result.barriers,
+            sync_wall_s=result.sync_wall_s,
+            hosts=cluster.n_shards,
+            sync=result.sync,
+            worker_wall_s=result.worker_wall_s,
+            registry_round_trips=result.registry_round_trips,
+        )
     raise SimulationError(
-        f"unknown engine {engine!r}; expected serial, sharded or async"
+        f"unknown engine {engine!r}; expected serial, sharded, async or cluster"
     )
 
 
@@ -406,6 +506,9 @@ def run_pif_trial(
     window: int | None = None,
     transport: str = "loopback",
     tick: float | None = None,
+    hosts: int | None = None,
+    sync: str | None = None,
+    cluster_listen: str | None = None,
 ) -> TrialResult:
     """One PIF trial (E3): all processes broadcast; Specification 1 checked."""
     if max_state is None:
@@ -422,7 +525,7 @@ def run_pif_trial(
         driver=dict(
             tag="pif",
             requests_per_process=requests_per_process,
-            payload=lambda pid, k: f"msg-{pid}-{k}",
+            payload_fmt="msg-{pid}-{k}",
         ),
         horizon=horizon,
         engine=engine,
@@ -430,6 +533,10 @@ def run_pif_trial(
         window=window,
         transport=transport,
         tick=tick,
+        hosts=hosts,
+        sync=sync,
+        cluster_listen=cluster_listen,
+        protocol={"kind": "pif", "max_state": max_state},
     )
     if not run.completed:
         raise HorizonExceeded(
@@ -478,6 +585,9 @@ def run_idl_trial(
     window: int | None = None,
     transport: str = "loopback",
     tick: float | None = None,
+    hosts: int | None = None,
+    sync: str | None = None,
+    cluster_listen: str | None = None,
 ) -> TrialResult:
     """One IDL trial (E4): Specification 2 checked against ground truth."""
 
@@ -500,6 +610,10 @@ def run_idl_trial(
         window=window,
         transport=transport,
         tick=tick,
+        hosts=hosts,
+        sync=sync,
+        cluster_listen=cluster_listen,
+        protocol={"kind": "idl", "idents": idents},
     )
     if not run.completed:
         raise HorizonExceeded(
@@ -549,6 +663,9 @@ def run_mutex_trial(
     transport: str = "loopback",
     tick: float | None = None,
     round_budget: int | None = None,
+    hosts: int | None = None,
+    sync: str | None = None,
+    cluster_listen: str | None = None,
 ) -> TrialResult:
     """One ME trial (E5): Specification 3 checked over the full trace.
 
@@ -583,6 +700,11 @@ def run_mutex_trial(
         transport=transport,
         tick=tick,
         round_budget=round_budget,
+        hosts=hosts,
+        sync=sync,
+        cluster_listen=cluster_listen,
+        protocol={"kind": "me", "cs_duration": cs_duration,
+                  "use_paper_modulus": use_paper_modulus},
     )
     if require_completion and not run.completed:
         raise HorizonExceeded(

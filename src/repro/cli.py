@@ -135,6 +135,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_topology_arg(p)
 
     p = sub.add_parser(
+        "cluster-worker",
+        help="serve one shard of a multi-host trial (launched by the "
+             "engine=cluster coordinator, or by hand on a remote machine)",
+    )
+    p.add_argument(
+        "--registry", required=True, metavar="HOST:PORT",
+        help="the coordinator's rendezvous address (its --cluster-listen, "
+             "or the ephemeral address it spawned this worker with)",
+    )
+    p.add_argument(
+        "--shard", type=int, required=True, metavar="K",
+        help="which shard of the partition this worker hosts (0-based)",
+    )
+    p.add_argument(
+        "--advertise-host", default="127.0.0.1", metavar="HOST",
+        help="address peer shards should dial this worker on (default "
+             "127.0.0.1; set to this machine's reachable address when "
+             "launching on a remote host)",
+    )
+
+    p = sub.add_parser(
         "topology",
         help="inspect a topology: structure, edge-weight stats, shard lookahead",
     )
@@ -184,12 +205,34 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
              "prefer an explicit budget there)",
     )
     parser.add_argument(
-        "--engine", choices=["serial", "sharded", "async"], default="serial",
+        "--engine", choices=["serial", "sharded", "async", "cluster"],
+        default="serial",
         help="execution backend: one in-process scheduler (serial), the "
-             "topology partitioned across worker processes (sharded), or the "
-             "asyncio runtime with one coroutine per process (async); serial, "
-             "sharded and async --transport loopback produce bit-identical "
-             "results for the same seed",
+             "topology partitioned across worker processes (sharded), the "
+             "asyncio runtime with one coroutine per process (async), or "
+             "per-shard worker interpreters behind real sockets (cluster); "
+             "serial, sharded, async --transport loopback and cluster "
+             "--sync windowed produce identical trace metrics for the same "
+             "seed",
+    )
+    parser.add_argument(
+        "--hosts", type=int, default=None, metavar="N",
+        help="worker-interpreter count for --engine cluster (default: one "
+             "per arbitration-cluster group); each hosts one shard of the "
+             "partition in its own OS process",
+    )
+    parser.add_argument(
+        "--sync", choices=["windowed", "freerun"], default=None,
+        help="cluster synchronization mode: conservative time windows with "
+             "BARRIER frames (windowed, reproduces serial results) or "
+             "best-effort progress where online spec monitors are the "
+             "verdict (freerun)",
+    )
+    parser.add_argument(
+        "--cluster-listen", default=None, metavar="HOST:PORT",
+        help="for --engine cluster: listen for hand-launched remote workers "
+             "('repro cluster-worker') on this registry address instead of "
+             "spawning localhost workers",
     )
     parser.add_argument(
         "--shards", type=int, default=None, metavar="N",
@@ -303,6 +346,7 @@ def _cmd_trials(args, runner, title: str) -> str:
         latency=tuple(args.latency),
         engine=args.engine, shards=args.shards, window=args.window,
         transport=args.transport, tick=args.tick,
+        hosts=args.hosts, sync=args.sync, cluster_listen=args.cluster_listen,
     )
     if args.horizon is not None:
         kwargs["horizon"] = args.horizon
@@ -319,6 +363,9 @@ def _cmd_trials(args, runner, title: str) -> str:
         prov += ["window", "barriers"]
     if args.engine == "async":
         prov += ["transport", "monitors_ok"]
+    if args.engine == "cluster":
+        prov += ["hosts", "sync", "window", "barriers",
+                 "registry_round_trips", "monitors_ok"]
     return render_table(
         keys + extra + prov,
         [t.row(*(keys + extra + prov)) for t in trials],
@@ -394,6 +441,7 @@ def _cmd_matrix(args) -> str:
         engine=args.engine, shards=args.shards, window=args.window,
         transport=args.transport, tick=args.tick, horizon=args.horizon,
         latency=tuple(args.latency),
+        hosts=args.hosts, sync=args.sync,
     )
     return render_table(
         list(rows[0].keys()), [list(r.values()) for r in rows],
@@ -493,6 +541,14 @@ def _dispatch(args) -> int:
 
 
 def _run_command(args) -> int:
+    if args.command == "cluster-worker":
+        # A worker interpreter serves exactly one shard then exits; its
+        # stdout belongs to the hosted simulator slice, not to a table.
+        from repro.net.cluster import run_cluster_worker
+
+        return run_cluster_worker(
+            args.registry, args.shard, args.advertise_host
+        )
     if args.command == "figure1":
         output = _cmd_figure1(args)
     elif args.command == "impossibility":

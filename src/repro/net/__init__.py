@@ -10,6 +10,12 @@ Runs the paper's protocol layers, unmodified, over real transports:
 * :mod:`repro.net.transport` — loopback queues and the localhost TCP
   fabric, both under sender-owned channel accounting.
 * :mod:`repro.net.wire` — the length-prefixed frame format.
+* :mod:`repro.net.cluster` — the multi-host runtime: per-shard worker
+  interpreters (own OS processes) behind the TCP fabric, coordinated
+  through BARRIER frames in ``windowed`` mode or free-running under the
+  online monitors.
+* :mod:`repro.net.registry` — the rendezvous / port-registry service
+  workers use to find each other's peer servers.
 * :mod:`repro.net.monitors` — online specification monitors over the
   live trace.
 
@@ -18,6 +24,12 @@ argument.
 """
 
 from repro.net.clock import PacedClock, VirtualClock
+from repro.net.cluster import (
+    ClusterRunResult,
+    ClusterSimulator,
+    SYNC_MODES,
+    run_cluster_worker,
+)
 from repro.net.engine import (
     DEFAULT_TICK_SECONDS,
     AsyncSimulator,
@@ -34,10 +46,17 @@ from repro.net.monitors import (
     RequestLivenessMonitor,
     default_monitors,
 )
+from repro.net.registry import RegistryClient, RegistryServer
 from repro.net.transport import LoopbackTransport, TcpFabric, TcpTransport, Transport
 
 __all__ = [
     "AsyncSimulator",
+    "ClusterSimulator",
+    "ClusterRunResult",
+    "SYNC_MODES",
+    "run_cluster_worker",
+    "RegistryServer",
+    "RegistryClient",
     "NetRunResult",
     "ProcessActor",
     "TRANSPORTS",

@@ -1,0 +1,842 @@
+"""Multi-host runtime: per-shard worker interpreters behind the wire format.
+
+:class:`ClusterSimulator` runs one trial across OS processes (or, with
+hand-launched workers, machines): the topology is partitioned into shards
+(:mod:`repro.sim.partition` — Weighted-aware boundaries, cross-shard
+latency floors), and each shard runs inside its own *worker interpreter*
+hosting an :class:`~repro.net.engine.AsyncSimulator` slice
+(``hosts_for=shard_pids``).  Intra-shard channels stay in-process loopback
+queues; cross-shard sends fall through the base engine's sender-owned
+accounting into the cross-shard outbox and travel as ``SHIP`` frames
+(:mod:`repro.net.wire`) over real sockets, directly worker-to-worker.
+
+Workers find each other through the rendezvous service of
+:mod:`repro.net.registry`: each registers ``(shard_id, host, port)``,
+receives the full peer map, and dials its peer shards itself (HELLO
+identifies the source shard).  The registry connection doubles as the
+coordinator's control channel.
+
+Two synchronization modes:
+
+* ``sync="windowed"`` — the sharded engine's conservative time-window
+  protocol over sockets.  The coordinator advances all workers in windows
+  of at most :attr:`Partition.latency_floor` ticks; a worker finishes its
+  round, ships its outbox, then sends a ``BARRIER(round)`` frame on every
+  peer link.  Per-connection FIFO means a barrier certifies every SHIP of
+  that round was already delivered, and the window bound means every
+  shipped delivery time lies strictly beyond the next window — so a
+  worker that has seen round ``r-1`` barriers from all peers can advance
+  round ``r`` with its event heap complete.  The run is therefore
+  **bit-identical to the serial engine** (same trace, same canonical
+  hash), which the ``cluster-equivalence`` CI gate asserts.
+* ``sync="freerun"`` — best-effort: same frames, no barrier waits, and
+  arrival times are clamped to the receiver's local future
+  (``max(when, now + 1)``).  Cross-shard timing is no longer reproducible,
+  so the online spec monitors (:mod:`repro.net.monitors`), replayed over
+  the merged trace, carry the verdict — in the spirit of automata-based
+  distributed runtime checking.
+
+Trace merging, completion bookkeeping and scramble segment handling are
+shared with the fork-based sharded engine
+(:func:`repro.sim.sharded.merge_worker_traces` and friends) — one merge
+algorithm, two fabrics.
+
+Worker interpreters cannot inherit closures, so trials are described by
+picklable *specs*: a protocol spec (``{"kind": "pif", ...}`` —
+:func:`build_protocol`) and a driver config whose payload is a format
+string (``payload_fmt="msg-{pid}-{k}"``) rather than a callable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.core.idl import IdlLayer
+from repro.core.mutex import MutexLayer
+from repro.core.pif import PifLayer
+from repro.core.requests import CompletedRequest, RequestDriver
+from repro.errors import SimulationError
+from repro.net import wire
+from repro.net.engine import AsyncSimulator
+from repro.net.registry import RegistryClient, RegistryServer
+from repro.sim.channel import LossModel
+from repro.sim.partition import Partition, partition_topology
+from repro.sim.runtime import BuildFn
+from repro.sim.sharded import (
+    _KeyedTrace,
+    _SHARDABLE_LOSS,
+    merge_completions,
+    merge_worker_traces,
+    scramble_shard,
+    shard_result_payload,
+)
+from repro.sim.stats import SimStats
+from repro.sim.topology import Topology, topology_from_spec
+from repro.sim.trace import Trace
+from repro.types import RequestState
+
+__all__ = [
+    "ClusterSimulator",
+    "ClusterRunResult",
+    "SYNC_MODES",
+    "FREERUN_WINDOW",
+    "build_protocol",
+    "payload_from_fmt",
+    "run_cluster_worker",
+    "parse_hostport",
+]
+
+SYNC_MODES = ("windowed", "freerun")
+
+#: Advance-round size in freerun mode (no lookahead bound applies — the
+#: round exists only to pace control traffic and completion checks).
+FREERUN_WINDOW = 64
+
+
+def parse_hostport(spec: str) -> tuple[str, int]:
+    """Parse ``host:port`` (the form every cluster CLI flag uses)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise SimulationError(f"expected HOST:PORT, got {spec!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SimulationError(f"bad port in {spec!r}") from None
+
+
+# -- picklable trial specs -------------------------------------------------
+
+
+def _build_pif(*, tag: str = "pif", max_state: int = 4) -> BuildFn:
+    def build(host) -> None:
+        host.register(PifLayer(tag, max_state=max_state))
+
+    return build
+
+
+def _build_idl(
+    *, tag: str = "idl", idents: dict[int, int] | None = None
+) -> BuildFn:
+    def build(host) -> None:
+        ident = idents[host.pid] if idents else None
+        host.register(IdlLayer(tag, ident=ident))
+
+    return build
+
+
+def _build_me(
+    *, tag: str = "me", cs_duration: int = 3, use_paper_modulus: bool = False
+) -> BuildFn:
+    def build(host) -> None:
+        host.register(
+            MutexLayer(
+                tag, cs_duration=cs_duration, use_paper_modulus=use_paper_modulus
+            )
+        )
+
+    return build
+
+
+#: Named protocol builders: worker interpreters reconstruct the build
+#: closure from a picklable ``{"kind": ..., **params}`` spec.
+BUILDERS: dict[str, Callable[..., BuildFn]] = {
+    "pif": _build_pif,
+    "idl": _build_idl,
+    "me": _build_me,
+}
+
+
+def build_protocol(spec: dict[str, Any]) -> BuildFn:
+    """Turn a protocol spec into a build function (worker side)."""
+    params = dict(spec)
+    kind = params.pop("kind", None)
+    factory = BUILDERS.get(kind)
+    if factory is None:
+        raise SimulationError(
+            f"unknown protocol kind {kind!r}; expected one of {sorted(BUILDERS)}"
+        )
+    return factory(**params)
+
+
+def payload_from_fmt(fmt: str) -> Callable[[int, int], str]:
+    """The picklable replacement for driver payload callables: a format
+    string over ``pid``/``k`` (``"msg-{pid}-{k}"`` reproduces the serial
+    runners' payloads byte for byte)."""
+
+    def payload(pid: int, k: int) -> str:
+        return fmt.format(pid=pid, k=k)
+
+    return payload
+
+
+def _worker_driver_cfg(driver: dict[str, Any] | None) -> dict[str, Any] | None:
+    """Validate a driver config for shipping to worker interpreters."""
+    if driver is None:
+        return None
+    cfg = dict(driver)
+    if callable(cfg.get("payload")):
+        raise SimulationError(
+            "engine='cluster' cannot ship payload callables to worker "
+            "interpreters; pass payload_fmt='msg-{pid}-{k}' instead"
+        )
+    for key, value in cfg.items():
+        if callable(value):
+            raise SimulationError(
+                f"driver option {key!r} is a callable; the cluster engine "
+                "needs a picklable driver config"
+            )
+    return cfg
+
+
+@dataclass
+class ClusterRunResult:
+    """Everything a trial needs back from a multi-host run."""
+
+    trace: Trace
+    stats: SimStats
+    #: Driver-tag request state per pid at the final horizon.
+    finals: dict[int, RequestState]
+    completions: list[CompletedRequest]
+    completed: bool
+    #: Tick at which the last shard's driver went idle (None if it never did).
+    done_at: int | None
+    final_time: int
+    partition: Partition
+    sync: str = "windowed"
+    #: Synchronization window (advance-round size in freerun).
+    window: int = 0
+    #: Barriers paid: one advance round per entry.
+    barriers: int = 0
+    #: Coordinator-side synchronization wall time: round round-trips minus
+    #: each round's slowest worker compute.
+    sync_wall_s: float = 0.0
+    #: Per-shard simulation wall clock (seconds inside ``drive``), as
+    #: reported by each worker interpreter.
+    worker_wall_s: dict[int, float] = field(default_factory=dict)
+    #: REGISTER/PEERS exchanges the rendezvous cost.
+    registry_round_trips: int = 0
+
+
+class ClusterSimulator:
+    """Coordinate one trial across per-shard worker interpreters.
+
+    Constructor arguments mirror :class:`~repro.sim.sharded.ShardedSimulator`
+    where they are meaningful across hosts; ``protocol`` is a picklable
+    protocol spec (see :data:`BUILDERS`) instead of a build closure, and
+    ``hosts`` fixes the worker count (default: one per arbitration-cluster
+    group).  With ``listen="host:port"`` the coordinator binds its registry
+    there and waits for hand-launched ``repro cluster-worker`` processes
+    instead of spawning localhost workers itself.
+    """
+
+    def __init__(
+        self,
+        pids: Sequence[int] | int | None = None,
+        protocol: dict[str, Any] | None = None,
+        *,
+        topology: Topology | str | None = None,
+        seed: int = 0,
+        hosts: int | None = None,
+        window: int | None = None,
+        sync: str = "windowed",
+        capacity: int = 1,
+        latency: tuple[int, int] = (1, 3),
+        loss: LossModel | None = None,
+        activation_period: int = 2,
+        activation_jitter: int = 1,
+        listen: str | None = None,
+        worker_timeout: float = 120.0,
+    ) -> None:
+        if protocol is None:
+            raise SimulationError(
+                "the cluster engine needs a picklable protocol spec "
+                "(e.g. {'kind': 'pif'}); build closures cannot cross "
+                "interpreter boundaries"
+            )
+        build_protocol(protocol)  # validate early, coordinator-side
+        if sync not in SYNC_MODES:
+            raise SimulationError(
+                f"unknown sync mode {sync!r}; expected one of {SYNC_MODES}"
+            )
+        if isinstance(pids, int):
+            pids = list(range(1, pids + 1))
+        if topology is None:
+            if pids is None:
+                raise SimulationError("need a process count, pid list, or topology")
+            from repro.sim.topology import Complete
+
+            topology = Complete(pids)
+        elif isinstance(topology, str):
+            if pids is None:
+                raise SimulationError(
+                    f"topology spec {topology!r} needs an explicit process count"
+                )
+            topology = topology_from_spec(topology, len(pids), seed=seed)
+        if loss is not None and not isinstance(loss, _SHARDABLE_LOSS):
+            raise SimulationError(
+                f"loss model {type(loss).__name__} keeps cross-channel state; "
+                "the cluster engine supports NoLoss/BernoulliLoss"
+            )
+        lo, hi = latency
+        if not 1 <= lo <= hi:
+            raise SimulationError(
+                f"latency bounds must satisfy 1 <= lo <= hi, got {latency}"
+            )
+        self.topology = topology
+        self.protocol = dict(protocol)
+        self.partition = partition_topology(topology, hosts)
+        #: Conservative lookahead, as on the sharded engine: the minimum
+        #: latency lower bound over cross-shard edges.
+        self.lookahead = self.partition.latency_floor(lo)
+        self.sync = sync
+        if sync == "windowed":
+            if window is None:
+                window = self.lookahead
+            if not 1 <= window <= self.lookahead:
+                detail = (
+                    "the latency lower bound"
+                    if self.lookahead == lo
+                    else f"the cross-shard latency floor; global lower bound {lo}"
+                )
+                raise SimulationError(
+                    f"window must be in 1..{self.lookahead} ({detail} — the "
+                    f"engine's conservative lookahead), got {window}"
+                )
+        else:
+            if window is None:
+                window = FREERUN_WINDOW
+            if window < 1:
+                raise SimulationError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.seed = seed
+        self.listen = listen
+        self.worker_timeout = worker_timeout
+        self._sim_kwargs = dict(
+            seed=seed,
+            capacity=capacity,
+            latency=latency,
+            loss=loss,
+            activation_period=activation_period,
+            activation_jitter=activation_jitter,
+        )
+
+    @property
+    def pids(self) -> tuple[int, ...]:
+        return self.topology.pids
+
+    @property
+    def n_shards(self) -> int:
+        return self.partition.n_shards
+
+    # -- the coordinator loop ---------------------------------------------
+
+    def run_trial(
+        self,
+        *,
+        horizon: int,
+        scramble_seed: int | None = None,
+        fill_channels: bool = True,
+        driver: dict[str, Any] | None = None,
+        drain: int = 200,
+    ) -> ClusterRunResult:
+        """Rendezvous the workers, then scramble/serve/drain across shards.
+
+        Same trial shape as every other engine; ``drain`` must be >= the
+        window (completion is detected at a round boundary, which can
+        overshoot the completion tick by up to one window).
+        """
+        if drain < self.window:
+            raise SimulationError(
+                f"drain ({drain}) must be >= window ({self.window})"
+            )
+        driver_cfg = _worker_driver_cfg(driver)
+        return asyncio.run(
+            self._run(horizon, scramble_seed, fill_channels, driver_cfg, drain)
+        )
+
+    def _spawn_workers(self, registry_address: str) -> list[subprocess.Popen]:
+        """Launch one localhost worker interpreter per shard.
+
+        Workers are fresh interpreters (``python -m repro cluster-worker``),
+        not forks — the same launch command works on a remote machine, which
+        is the point.  ``PYTHONPATH`` is threaded through explicitly: the
+        parent may be running from a source tree (pytest sets ``sys.path``,
+        not the environment).
+        """
+        import repro
+
+        env = os.environ.copy()
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        workers = []
+        for shard in range(self.n_shards):
+            workers.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "cluster-worker",
+                        "--registry",
+                        registry_address,
+                        "--shard",
+                        str(shard),
+                    ],
+                    env=env,
+                )
+            )
+        return workers
+
+    async def _run(
+        self,
+        horizon: int,
+        scramble_seed: int | None,
+        fill_channels: bool,
+        driver_cfg: dict[str, Any] | None,
+        drain: int,
+    ) -> ClusterRunResult:
+        if self.listen is not None:
+            reg_host, reg_port = parse_hostport(self.listen)
+            registry = RegistryServer(self.n_shards, host=reg_host, port=reg_port)
+        else:
+            registry = RegistryServer(self.n_shards)
+        workers: list[subprocess.Popen] = []
+        try:
+            await registry.start()
+            if self.listen is None:
+                workers = self._spawn_workers(registry.address)
+            handles = await registry.rendezvous(self.worker_timeout)
+            spec = {
+                "topology": self.topology,
+                "shards": self.partition.shards,
+                "protocol": self.protocol,
+                "sync": self.sync,
+                "scramble_seed": scramble_seed,
+                "fill_channels": fill_channels,
+                "driver": driver_cfg,
+                "timeout": self.worker_timeout,
+                **self._sim_kwargs,
+            }
+            for handle in handles:
+                await handle.send(("spec", spec))
+
+            async def recv(handle, expected: str):
+                try:
+                    message = await asyncio.wait_for(
+                        handle.recv(), timeout=self.worker_timeout
+                    )
+                except asyncio.TimeoutError:
+                    raise SimulationError(
+                        f"cluster worker shard {handle.shard} sent no "
+                        f"{expected!r} within {self.worker_timeout:.0f}s"
+                    ) from None
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    raise SimulationError(
+                        f"cluster worker shard {handle.shard} dropped its "
+                        "control connection"
+                    ) from None
+                if message[0] == "error":
+                    raise SimulationError(
+                        f"cluster worker shard {handle.shard} failed:\n{message[1]}"
+                    )
+                if message[0] != expected:
+                    raise SimulationError(
+                        f"cluster worker protocol error: expected {expected!r}, "
+                        f"got {message[0]!r}"
+                    )
+                return message
+
+            injected = 0
+            for handle in handles:
+                _, worker_injected = await recv(handle, "ready")
+                injected += worker_injected
+
+            completed = False
+            done_at: int | None = None
+            final_target: int | None = None
+            barriers = 0
+            sync_wall = 0.0
+            worker_wall: dict[int, float] = {h.shard: 0.0 for h in handles}
+            t = -1
+            while final_target is None or t < final_target:
+                cap = horizon if final_target is None else final_target
+                target = min(t + self.window, cap)
+                round_start = time.perf_counter()
+                for handle in handles:
+                    await handle.send(("adv", target))
+                done_ticks = []
+                slowest = 0.0
+                for handle in handles:
+                    _, worker_done, compute_s = await recv(handle, "adv-ok")
+                    done_ticks.append(worker_done)
+                    worker_wall[handle.shard] += compute_s
+                    if compute_s > slowest:
+                        slowest = compute_s
+                barriers += 1
+                sync_wall += max(
+                    0.0, time.perf_counter() - round_start - slowest
+                )
+                t = target
+                if final_target is None:
+                    if driver_cfg is not None and all(
+                        d is not None for d in done_ticks
+                    ):
+                        done_at = max(done_ticks, default=0)
+                        completed = True
+                        final_target = done_at + drain
+                    elif t >= horizon:
+                        final_target = horizon + drain
+
+            payloads = []
+            for handle in handles:
+                await handle.send(("result",))
+                _, payload = await recv(handle, "result")
+                payloads.append(payload)
+            for handle in handles:
+                await handle.send(("stop",))
+            for worker in workers:
+                try:
+                    worker.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    worker.terminate()
+        finally:
+            await registry.close()
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.terminate()
+            for worker in workers:
+                if worker.poll() is None:
+                    try:
+                        worker.wait(timeout=5)
+                    except subprocess.TimeoutExpired:
+                        worker.kill()
+
+        trace = merge_worker_traces(
+            payloads, scramble_seed is not None, fill_channels, injected
+        )
+        stats = SimStats()
+        finals: dict[int, RequestState] = {}
+        for payload in payloads:
+            stats.merge(payload["stats"])
+            finals.update(payload["finals"])
+        assert final_target is not None
+        return ClusterRunResult(
+            trace=trace,
+            stats=stats,
+            finals=finals,
+            completions=merge_completions(payloads),
+            completed=completed,
+            done_at=done_at,
+            final_time=final_target,
+            partition=self.partition,
+            sync=self.sync,
+            window=self.window,
+            barriers=barriers,
+            sync_wall_s=sync_wall,
+            worker_wall_s=worker_wall,
+            registry_round_trips=registry.round_trips,
+        )
+
+
+# -- the worker interpreter ------------------------------------------------
+
+
+class _ClusterWorker:
+    """One shard's interpreter: an AsyncSimulator slice behind the fabric."""
+
+    def __init__(
+        self, shard: int, registry_host: str, registry_port: int, advertise_host: str
+    ) -> None:
+        self.shard = shard
+        self.client = RegistryClient(registry_host, registry_port)
+        self.advertise_host = advertise_host
+        self.engine: AsyncSimulator | None = None
+        self.sync = "windowed"
+        self.timeout = 120.0
+        self.peers: tuple[int, ...] = ()
+        self._peer_writers: dict[int, asyncio.StreamWriter] = {}
+        self._peer_server: asyncio.Server | None = None
+        self._pumps: list[asyncio.Task] = []
+        #: Latest barrier round seen per in-peer (-1 = none yet).
+        self._barrier_round: dict[int, int] = {}
+        self._barrier_event = asyncio.Event()
+        #: Inbound frames wait on this: a fast peer can ship round 0
+        #: while this worker is still building its engine, and a BARRIER
+        #: processed before ``_connect_peers`` seeds ``_barrier_round``
+        #: would be overwritten (a lost barrier deadlocks the round
+        #: loop).  TCP buffers the frames until the trial state exists.
+        self._frames_ready = asyncio.Event()
+        self._errors: list[BaseException] = []
+
+    async def run(self) -> None:
+        # The peer server opens before registration: the PEERS broadcast
+        # must only ever name live, dialable endpoints.
+        local = self.advertise_host in ("127.0.0.1", "localhost")
+        self._peer_server = await asyncio.start_server(
+            self._accept_peer,
+            host="127.0.0.1" if local else None,
+            port=0,
+        )
+        port = self._peer_server.sockets[0].getsockname()[1]
+        try:
+            peers = await self.client.register(
+                self.shard, self.advertise_host, port, timeout=self.timeout
+            )
+            op, spec = await asyncio.wait_for(
+                self.client.recv(), timeout=self.timeout
+            )
+            if op != "spec":
+                raise SimulationError(f"expected the trial spec, got {op!r}")
+            await self._trial(spec, peers)
+        finally:
+            await self._teardown()
+
+    # -- fabric ----------------------------------------------------------
+
+    async def _connect_peers(self, peers: dict[int, tuple[str, int]]) -> None:
+        for peer in self.peers:
+            self._barrier_round[peer] = -1
+            host, port = peers[peer]
+            _reader, writer = await asyncio.open_connection(host, port)
+            writer.write(wire.encode_hello(self.shard))
+            await writer.drain()
+            self._peer_writers[peer] = writer
+
+    async def _accept_peer(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._pumps.append(task)
+        try:
+            kind, payload = await wire.read_frame(reader)
+            if kind != wire.HELLO:
+                raise wire.WireError("peer link did not open with a HELLO frame")
+            src_shard = wire.decode_hello(payload)
+            await self._frames_ready.wait()
+            while True:
+                kind, payload = await wire.read_frame(reader)
+                if kind == wire.SHIP:
+                    self._on_ship(*wire.decode_ship(payload))
+                elif kind == wire.BARRIER:
+                    shard, round_no = wire.decode_barrier(payload)
+                    if shard != src_shard:
+                        raise wire.WireError(
+                            f"barrier names shard {shard} on shard "
+                            f"{src_shard}'s link"
+                        )
+                    self._barrier_round[shard] = round_no
+                    self._barrier_event.set()
+                else:
+                    raise wire.WireError(
+                        f"unexpected frame kind 0x{kind:02x} on a peer link"
+                    )
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            asyncio.CancelledError,
+        ):
+            return  # peer closed or trial teardown
+        except Exception as exc:  # noqa: BLE001 - surfaced at the next barrier
+            self._errors.append(exc)
+            self._barrier_event.set()
+        finally:
+            writer.close()
+
+    def _on_ship(
+        self, src: int, dst: int, msg: Any, when: int, entry_seq: int
+    ) -> None:
+        engine = self.engine
+        assert engine is not None
+        if self.sync == "freerun":
+            # Best-effort: a late frame lands in the receiver's local
+            # future instead of violating the clock.  TCP keeps each
+            # link FIFO and the clamp is monotone, so per-channel
+            # delivery order still holds.
+            when = max(when, engine.now + 1)
+        # In windowed mode the protocol guarantees `when` lies beyond the
+        # current window; Scheduler.post_at's past-time check stays active
+        # as a causality assertion.
+        engine.schedule_remote_arrival(src, dst, msg, when, entry_seq)
+
+    async def _ship_round(self, round_no: int) -> None:
+        """Ship the round's outbox, then barrier every peer link."""
+        engine = self.engine
+        assert engine is not None
+        shard_of = self.partition.shard_of
+        for src, dst, msg, when, entry_seq in engine.drain_outbox():
+            writer = self._peer_writers[shard_of[dst]]
+            writer.write(wire.encode_ship(src, dst, msg, when, entry_seq))
+        barrier = wire.encode_barrier(self.shard, round_no)
+        for writer in self._peer_writers.values():
+            writer.write(barrier)
+        for writer in self._peer_writers.values():
+            await writer.drain()
+
+    async def _await_barriers(self, round_no: int) -> None:
+        """Block until every in-peer has announced ``round_no``."""
+        while True:
+            if self._errors:
+                raise SimulationError(
+                    f"peer link failed: {self._errors[0]}"
+                ) from self._errors[0]
+            if all(r >= round_no for r in self._barrier_round.values()):
+                return
+            self._barrier_event.clear()
+            try:
+                await asyncio.wait_for(
+                    self._barrier_event.wait(), timeout=self.timeout
+                )
+            except asyncio.TimeoutError:
+                lagging = sorted(
+                    peer
+                    for peer, r in self._barrier_round.items()
+                    if r < round_no
+                )
+                raise SimulationError(
+                    f"shard {self.shard} waited {self.timeout:.0f}s for "
+                    f"barrier {round_no} from peers {lagging}"
+                ) from None
+
+    # -- the trial -------------------------------------------------------
+
+    async def _trial(
+        self, spec: dict[str, Any], peers: dict[int, tuple[str, int]]
+    ) -> None:
+        self.sync = spec["sync"]
+        self.timeout = spec.get("timeout", self.timeout)
+        shards = spec["shards"]
+        shard_pids = shards[self.shard]
+        self.partition = Partition(topology=spec["topology"], shards=shards)
+        self.peers = self.partition.peer_shards(self.shard)
+        engine = AsyncSimulator(
+            build=build_protocol(spec["protocol"]),
+            topology=spec["topology"],
+            hosts_for=shard_pids,
+            transport="loopback",
+            seed=spec["seed"],
+            capacity=spec["capacity"],
+            latency=spec["latency"],
+            loss=spec["loss"],
+            activation_period=spec["activation_period"],
+            activation_jitter=spec["activation_jitter"],
+        )
+        trace = _KeyedTrace(engine.scheduler)
+        engine.trace = trace
+        self.engine = engine
+        await self._connect_peers(peers)
+        self._frames_ready.set()
+        engine.start_actors()
+        try:
+            injected, proc_len, chan_len = scramble_shard(
+                engine, trace, spec["scramble_seed"], spec["fill_channels"]
+            )
+            driver_cfg = spec["driver"]
+            driver: RequestDriver | None = None
+            if driver_cfg is not None:
+                cfg = dict(driver_cfg)
+                fmt = cfg.pop("payload_fmt", None)
+                if fmt is not None:
+                    cfg["payload"] = payload_from_fmt(fmt)
+                driver = RequestDriver(engine, pids=shard_pids, **cfg)
+            # Round 0: the scramble's cross-shard injections ship before
+            # the coordinator ever advances anyone — by the time a peer
+            # passes its round-0 barrier wait, these are in its heap.
+            await self._ship_round(0)
+            await self.client.send(("ready", injected))
+            clock = engine.scheduler
+            round_no = 0
+            while True:
+                message = await asyncio.wait_for(
+                    self.client.recv(), timeout=self.timeout
+                )
+                op = message[0]
+                if op == "adv":
+                    _, target = message
+                    round_no += 1
+                    if self.sync == "windowed":
+                        await self._await_barriers(round_no - 1)
+                    t0 = time.perf_counter()
+                    await clock.drive(target, engine._route)
+                    compute_s = time.perf_counter() - t0
+                    engine._raise_net_errors()
+                    if self._errors:
+                        raise SimulationError(
+                            f"peer link failed: {self._errors[0]}"
+                        ) from self._errors[0]
+                    await self._ship_round(round_no)
+                    done_at = driver.done_at if driver is not None else 0
+                    await self.client.send(("adv-ok", done_at, compute_s))
+                elif op == "result":
+                    tag = driver_cfg["tag"] if driver_cfg else None
+                    await self.client.send((
+                        "result",
+                        shard_result_payload(
+                            engine, trace, proc_len, chan_len,
+                            shard_pids, driver, tag,
+                        ),
+                    ))
+                elif op == "stop":
+                    return
+                else:
+                    raise SimulationError(
+                        f"unknown coordinator op {op!r}"
+                    )
+        finally:
+            await engine._teardown()
+
+    async def _teardown(self) -> None:
+        for writer in self._peer_writers.values():
+            writer.close()
+        for pump in self._pumps:
+            pump.cancel()
+        if self._pumps:
+            await asyncio.gather(*self._pumps, return_exceptions=True)
+        if self._peer_server is not None:
+            self._peer_server.close()
+            await self._peer_server.wait_closed()
+        self.client.close()
+
+
+async def _worker_async(
+    shard: int, registry_host: str, registry_port: int, advertise_host: str
+) -> int:
+    worker = _ClusterWorker(shard, registry_host, registry_port, advertise_host)
+    try:
+        await worker.run()
+        return 0
+    except Exception:  # noqa: BLE001 - forwarded to the coordinator
+        import traceback
+
+        tb = traceback.format_exc()
+        try:
+            await worker.client.send(("error", tb))
+        except Exception:  # noqa: BLE001 - coordinator may be gone
+            print(tb, file=sys.stderr)
+        return 1
+
+
+def run_cluster_worker(
+    registry: str, shard: int, advertise_host: str = "127.0.0.1"
+) -> int:
+    """Entry point of ``repro cluster-worker``: serve one shard.
+
+    ``registry`` is the coordinator's rendezvous address (``host:port``);
+    ``advertise_host`` is the address *peers* should dial this worker on —
+    set it to this machine's reachable address when launching on a remote
+    host.  Returns a process exit code.
+    """
+    host, port = parse_hostport(registry)
+    if shard < 0:
+        raise SimulationError(f"shard must be >= 0, got {shard}")
+    return asyncio.run(_worker_async(shard, host, port, advertise_host))

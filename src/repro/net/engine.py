@@ -167,11 +167,14 @@ class AsyncSimulator(Simulator):
             raise SimulationError(
                 f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
             )
-        for reserved in ("auto", "hosts_for"):
-            if reserved in sim_kwargs:
-                raise SimulationError(
-                    f"{reserved!r} is not configurable on the async engine"
-                )
+        if "auto" in sim_kwargs:
+            raise SimulationError(
+                "'auto' is not configurable on the async engine"
+            )
+        # ``hosts_for`` *is* allowed: a cluster worker (repro.net.cluster)
+        # hosts one shard's slice of the system on this engine — sends to
+        # non-hosted pids fall through to the base engine's cross-shard
+        # outbox, which the worker ships over the socket fabric.
         self.transport = transport
         self.tick = tick
         # Read by _make_scheduler/_make_trace during super().__init__.
@@ -240,6 +243,18 @@ class AsyncSimulator(Simulator):
         self.scheduler.touch()  # arrival timestamps/busy checks read wall time
         actor = self._actors[dst]
         actor.post(lambda: self._dispatch_arrival(src, dst, msg, entry_seq))
+
+    def start_actors(self) -> None:
+        """Spawn one :class:`ProcessActor` per hosted pid (needs a running
+        event loop).  ``run_trial`` does this itself; external drivers —
+        the cluster worker loop, which owns its own advance protocol —
+        call it before the first ``drive`` and :meth:`_teardown` after
+        the last."""
+        self._actors = {
+            pid: ProcessActor(pid, self._net_errors) for pid in self.hosts
+        }
+        for actor in self._actors.values():
+            actor.start()
 
     async def _route(self, key: int, fn: Callable[[], None]) -> None:
         """Execute one clock event (or batched run) at its owner.
@@ -310,11 +325,7 @@ class AsyncSimulator(Simulator):
         driver: dict[str, Any] | None,
         drain: int,
     ) -> NetRunResult:
-        self._actors = {
-            pid: ProcessActor(pid, self._net_errors) for pid in self.hosts
-        }
-        for actor in self._actors.values():
-            actor.start()
+        self.start_actors()
         clock = self.scheduler
         try:
             if self.transport == "tcp":

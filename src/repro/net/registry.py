@@ -1,0 +1,250 @@
+"""Rendezvous / port-registry service for the multi-host runtime.
+
+The single-interpreter tcp fabric (:class:`repro.net.transport.TcpFabric`)
+could wire its mesh directly — every endpoint lived in one process that
+knew every port.  Across OS processes (and machines) nobody knows anyone's
+port up front, so the HELLO handshake generalizes into a small rendezvous
+service:
+
+1. The coordinator opens a :class:`RegistryServer` on a well-known
+   address (an ephemeral localhost port when it spawns the workers itself;
+   a ``--cluster-listen host:port`` address for hand-launched remote
+   workers).
+2. Each worker opens its *peer server* first (the socket other shards
+   will ship cross-shard messages to), then connects to the registry and
+   sends one ``REGISTER (shard_id, host, port)`` frame.
+3. When every expected shard has registered, the registry answers each
+   worker with a ``PEERS`` frame carrying the full ``{shard: (host,
+   port)}`` map.  Workers then dial their peer shards directly (a
+   ``HELLO`` frame identifying the source shard opens each directed
+   link); the registry connection stays open as the coordinator's
+   control channel (pickled ``CONTROL`` frames — spec, advance rounds,
+   results).
+
+The registration exchange is counted (:attr:`RegistryServer.round_trips`)
+and reported in trial provenance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.net import wire
+
+__all__ = ["RegistryServer", "RegistryClient", "read_control", "send_control"]
+
+
+async def read_control(reader: asyncio.StreamReader) -> Any:
+    """Read one CONTROL frame (large frame bound — results carry traces)."""
+    kind, payload = await wire.read_frame(
+        reader, max_frame=wire.CONTROL_MAX_FRAME
+    )
+    if kind != wire.CONTROL:
+        raise wire.WireError(
+            f"expected a CONTROL frame on the registry channel, got 0x{kind:02x}"
+        )
+    return wire.decode_control(payload)
+
+
+async def send_control(writer: asyncio.StreamWriter, message: Any) -> None:
+    writer.write(wire.encode_control(message))
+    await writer.drain()
+
+
+class _WorkerHandle:
+    """The coordinator's end of one registered worker's control channel."""
+
+    __slots__ = ("shard", "host", "port", "reader", "writer")
+
+    def __init__(
+        self,
+        shard: int,
+        host: str,
+        port: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.shard = shard
+        self.host = host
+        self.port = port
+        self.reader = reader
+        self.writer = writer
+
+    async def send(self, message: Any) -> None:
+        await send_control(self.writer, message)
+
+    async def recv(self) -> Any:
+        return await read_control(self.reader)
+
+    def close(self) -> None:
+        self.writer.close()
+
+
+class RegistryServer:
+    """Coordinator-side rendezvous: collect registrations, broadcast peers.
+
+    ``expected`` is the shard count; :meth:`rendezvous` resolves once every
+    shard 0..expected-1 has registered, returning the worker handles in
+    shard order with the PEERS map already delivered.
+    """
+
+    def __init__(
+        self, expected: int, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.expected = expected
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        #: REGISTER/PEERS exchanges served (one per worker on a clean run;
+        #: rejected duplicates count too — they cost a round trip).
+        self.round_trips = 0
+        self._server: asyncio.Server | None = None
+        self._handles: dict[int, _WorkerHandle] = {}
+        self._complete: asyncio.Event = asyncio.Event()
+        self._error: BaseException | None = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._accept, host=self.host, port=self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            kind, payload = await wire.read_frame(reader)
+            if kind != wire.REGISTER:
+                raise wire.WireError(
+                    f"registry connection did not open with REGISTER "
+                    f"(got 0x{kind:02x})"
+                )
+            shard, host, port = wire.decode_register(payload)
+            self.round_trips += 1
+            if not 0 <= shard < self.expected:
+                raise wire.WireError(
+                    f"shard {shard} out of range 0..{self.expected - 1}"
+                )
+            if shard in self._handles:
+                raise wire.WireError(f"shard {shard} registered twice")
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            writer.close()
+            return
+        except wire.WireError as exc:
+            # A malformed registration fails the whole rendezvous loudly:
+            # a worker that cannot register can never reach its barrier,
+            # and a silent drop would hang the run until the timeout.
+            self._error = exc
+            self._complete.set()
+            writer.close()
+            return
+        self._handles[shard] = _WorkerHandle(shard, host, port, reader, writer)
+        if len(self._handles) == self.expected:
+            self._complete.set()
+
+    async def rendezvous(self, timeout: float) -> list[_WorkerHandle]:
+        """Wait for every shard, then broadcast the PEERS map.
+
+        Returns the handles in shard order.  Raises on duplicate or
+        malformed registrations and on timeout.
+        """
+        try:
+            await asyncio.wait_for(self._complete.wait(), timeout=timeout)
+        except asyncio.TimeoutError:
+            missing = sorted(set(range(self.expected)) - set(self._handles))
+            raise SimulationError(
+                f"registry rendezvous timed out after {timeout:.0f}s; "
+                f"missing shards {missing} (expected {self.expected})"
+            ) from None
+        if self._error is not None:
+            raise SimulationError(
+                f"registry rendezvous failed: {self._error}"
+            ) from self._error
+        peers = {
+            shard: (handle.host, handle.port)
+            for shard, handle in self._handles.items()
+        }
+        frame = wire.encode_peers(peers)
+        for shard in sorted(self._handles):
+            handle = self._handles[shard]
+            handle.writer.write(frame)
+            await handle.writer.drain()
+            self.round_trips += 1
+        return [self._handles[shard] for shard in sorted(self._handles)]
+
+    async def close(self) -> None:
+        for handle in self._handles.values():
+            handle.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+class RegistryClient:
+    """Worker-side rendezvous: register, learn the peer map, keep the
+    connection as the coordinator control channel."""
+
+    def __init__(self, registry_host: str, registry_port: int) -> None:
+        self.registry_host = registry_host
+        self.registry_port = registry_port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.peers: dict[int, tuple[str, int]] = {}
+
+    async def register(
+        self,
+        shard: int,
+        advertise_host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        retry_delay: float = 0.1,
+    ) -> dict[int, tuple[str, int]]:
+        """Connect (with retries — the coordinator may still be binding),
+        send REGISTER, await the PEERS broadcast."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            try:
+                self.reader, self.writer = await asyncio.open_connection(
+                    self.registry_host, self.registry_port
+                )
+                break
+            except OSError:
+                if loop.time() >= deadline:
+                    raise SimulationError(
+                        f"cannot reach registry at "
+                        f"{self.registry_host}:{self.registry_port} "
+                        f"after {timeout:.0f}s"
+                    ) from None
+                await asyncio.sleep(retry_delay)
+        self.writer.write(wire.encode_register(shard, advertise_host, port))
+        await self.writer.drain()
+        kind, payload = await asyncio.wait_for(
+            wire.read_frame(self.reader), timeout=timeout
+        )
+        if kind != wire.PEERS:
+            raise wire.WireError(
+                f"expected a PEERS frame after registering, got 0x{kind:02x}"
+            )
+        self.peers = wire.decode_peers(payload)
+        return self.peers
+
+    async def recv(self) -> Any:
+        assert self.reader is not None
+        return await read_control(self.reader)
+
+    async def send(self, message: Any) -> None:
+        assert self.writer is not None
+        await send_control(self.writer, message)
+
+    def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()

@@ -1,26 +1,41 @@
-"""Length-prefixed wire format for the socket transport.
+"""Length-prefixed wire format for the socket transports.
 
-Every frame on a channel connection is::
+Every frame on a connection is::
 
     +--------+--------+----------------+-----------------+
     | kind   | version| length (be32)  | payload bytes   |
     | 1 byte | 1 byte | 4 bytes        | `length` bytes  |
     +--------+--------+----------------+-----------------+
 
-Two frame kinds:
+Frame kinds:
 
 * ``HELLO`` — sent once by the connecting side right after ``connect``;
-  the payload identifies the *directed* channel (source pid), so the
-  accepting process can route every later frame of the connection.
-* ``MESSAGE`` — one in-flight protocol message.  The payload carries the
-  channel admission sequence number (the canonical delivery rank — see
+  the payload identifies the *directed* channel (source pid, or source
+  shard on a cluster peer link), so the accepting side can route every
+  later frame of the connection.
+* ``MESSAGE`` — one in-flight protocol message on a single-interpreter
+  tcp channel.  The payload carries the channel admission sequence number
+  (the canonical delivery rank — see
   :func:`repro.sim.determinism.delivery_key`) and the message object.
+* ``REGISTER`` / ``PEERS`` — the rendezvous handshake of the multi-host
+  runtime (:mod:`repro.net.registry`): a worker announces
+  ``(shard_id, host, port)``, the coordinator answers with the full peer
+  map once every expected worker has registered.
+* ``SHIP`` — one cross-shard message on a cluster peer link, carrying the
+  *sender-computed* delivery time and channel entry seq (the conservative
+  window protocol of :mod:`repro.sim.sharded`, over sockets).
+* ``BARRIER`` — a shard announces it finished advance round ``round``;
+  per-connection FIFO means every SHIP of that round precedes it.
+* ``CONTROL`` — a pickled coordinator<->worker control message
+  (spec/ready/adv/adv-ok/result/stop) on the registry connection.  Result
+  payloads carry whole shard traces, so control channels read frames with
+  the larger :data:`CONTROL_MAX_FRAME` bound.
 
-Message objects are serialized with :mod:`pickle`.  The transport only
-ever connects process coroutines of the *same* trial on the loopback
-interface — both endpoints are spawned by one :class:`AsyncSimulator` —
-so the classic pickle trust caveat does not extend the threat model; do
-not point this wire format at untrusted peers.
+Message objects are serialized with :mod:`pickle`.  The transports only
+ever connect endpoints of the *same* trial — every worker is launched by
+(or pointed at) one coordinator — so the classic pickle trust caveat does
+not extend the threat model; do not point this wire format at untrusted
+peers.
 """
 
 from __future__ import annotations
@@ -35,6 +50,14 @@ __all__ = [
     "PROTOCOL_VERSION",
     "HELLO",
     "MESSAGE",
+    "BARRIER",
+    "SHIP",
+    "REGISTER",
+    "PEERS",
+    "CONTROL",
+    "KINDS",
+    "MAX_FRAME",
+    "CONTROL_MAX_FRAME",
     "WireError",
     "pack_frame",
     "read_frame",
@@ -42,6 +65,16 @@ __all__ = [
     "decode_hello",
     "encode_message",
     "decode_message",
+    "encode_barrier",
+    "decode_barrier",
+    "encode_ship",
+    "decode_ship",
+    "encode_register",
+    "decode_register",
+    "encode_peers",
+    "decode_peers",
+    "encode_control",
+    "decode_control",
 ]
 
 #: Bump on any incompatible frame-layout change.
@@ -49,24 +82,41 @@ PROTOCOL_VERSION = 1
 
 HELLO = 0x01
 MESSAGE = 0x02
+BARRIER = 0x03
+SHIP = 0x04
+REGISTER = 0x05
+PEERS = 0x06
+CONTROL = 0x07
+
+#: Every frame kind this protocol version understands.
+KINDS = frozenset((HELLO, MESSAGE, BARRIER, SHIP, REGISTER, PEERS, CONTROL))
 
 _HEADER = struct.Struct(">BBI")
-#: Sanity bound on a single frame (a protocol message is a few hundred
-#: bytes; anything near this is a corrupt or hostile length prefix).
+#: Sanity bound on a single channel frame (a protocol message is a few
+#: hundred bytes; anything near this is a corrupt or hostile length prefix).
 MAX_FRAME = 1 << 20
+#: Bound for control/result frames: a shard's result payload carries its
+#: whole keyed trace, which dwarfs any single protocol message.
+CONTROL_MAX_FRAME = 1 << 28
+
+_I64 = struct.Struct(">q")
+_BARRIER = struct.Struct(">qq")
+_REGISTER = struct.Struct(">qI")
 
 
 class WireError(SimulationError):
-    """A malformed or incompatible frame arrived on a channel connection."""
+    """A malformed or incompatible frame arrived on a connection."""
 
 
-def pack_frame(kind: int, payload: bytes) -> bytes:
-    if len(payload) > MAX_FRAME:
-        raise WireError(f"frame payload of {len(payload)} bytes exceeds {MAX_FRAME}")
+def pack_frame(kind: int, payload: bytes, *, max_frame: int = MAX_FRAME) -> bytes:
+    if len(payload) > max_frame:
+        raise WireError(f"frame payload of {len(payload)} bytes exceeds {max_frame}")
     return _HEADER.pack(kind, PROTOCOL_VERSION, len(payload)) + payload
 
 
-async def read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_frame: int = MAX_FRAME
+) -> tuple[int, bytes]:
     """Read one frame; raises ``IncompleteReadError`` on clean EOF mid-frame.
 
     Returns ``(kind, payload)``.  EOF exactly on a frame boundary raises
@@ -77,22 +127,22 @@ async def read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
     kind, version, length = _HEADER.unpack(header)
     if version != PROTOCOL_VERSION:
         raise WireError(f"peer speaks wire version {version}, expected {PROTOCOL_VERSION}")
-    if kind not in (HELLO, MESSAGE):
+    if kind not in KINDS:
         raise WireError(f"unknown frame kind 0x{kind:02x}")
-    if length > MAX_FRAME:
-        raise WireError(f"frame length {length} exceeds {MAX_FRAME}")
+    if length > max_frame:
+        raise WireError(f"frame length {length} exceeds {max_frame}")
     payload = await reader.readexactly(length) if length else b""
     return kind, payload
 
 
 def encode_hello(src: int) -> bytes:
-    return pack_frame(HELLO, struct.Struct(">q").pack(src))
+    return pack_frame(HELLO, _I64.pack(src))
 
 
 def decode_hello(payload: bytes) -> int:
     if len(payload) != 8:
         raise WireError(f"hello payload of {len(payload)} bytes, expected 8")
-    return struct.Struct(">q").unpack(payload)[0]
+    return _I64.unpack(payload)[0]
 
 
 def encode_message(seq: int, msg: object) -> bytes:
@@ -105,3 +155,86 @@ def decode_message(payload: bytes) -> tuple[int, object]:
     except Exception as exc:  # noqa: BLE001 - normalized for callers
         raise WireError(f"undecodable message frame: {exc}") from exc
     return seq, msg
+
+
+def encode_barrier(shard: int, round_no: int) -> bytes:
+    return pack_frame(BARRIER, _BARRIER.pack(shard, round_no))
+
+
+def decode_barrier(payload: bytes) -> tuple[int, int]:
+    if len(payload) != _BARRIER.size:
+        raise WireError(
+            f"barrier payload of {len(payload)} bytes, expected {_BARRIER.size}"
+        )
+    shard, round_no = _BARRIER.unpack(payload)
+    return shard, round_no
+
+
+def encode_ship(src: int, dst: int, msg: object, when: int, entry_seq: int) -> bytes:
+    return pack_frame(
+        SHIP,
+        pickle.dumps((src, dst, msg, when, entry_seq), protocol=pickle.HIGHEST_PROTOCOL),
+    )
+
+
+def decode_ship(payload: bytes) -> tuple[int, int, object, int, int]:
+    try:
+        src, dst, msg, when, entry_seq = pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - normalized for callers
+        raise WireError(f"undecodable ship frame: {exc}") from exc
+    return src, dst, msg, when, entry_seq
+
+
+def encode_register(shard: int, host: str, port: int) -> bytes:
+    return pack_frame(REGISTER, _REGISTER.pack(shard, port) + host.encode("utf-8"))
+
+
+def decode_register(payload: bytes) -> tuple[int, str, int]:
+    if len(payload) < _REGISTER.size:
+        raise WireError(
+            f"register payload of {len(payload)} bytes, expected >= {_REGISTER.size}"
+        )
+    shard, port = _REGISTER.unpack(payload[: _REGISTER.size])
+    try:
+        host = payload[_REGISTER.size:].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"register host is not utf-8: {exc}") from exc
+    if not host:
+        raise WireError("register frame names no host")
+    return shard, host, port
+
+
+def encode_peers(peers: dict[int, tuple[str, int]]) -> bytes:
+    return pack_frame(PEERS, pickle.dumps(peers, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def decode_peers(payload: bytes) -> dict[int, tuple[str, int]]:
+    try:
+        peers = pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - normalized for callers
+        raise WireError(f"undecodable peers frame: {exc}") from exc
+    if not isinstance(peers, dict) or not all(
+        isinstance(shard, int)
+        and isinstance(addr, tuple)
+        and len(addr) == 2
+        and isinstance(addr[0], str)
+        and isinstance(addr[1], int)
+        for shard, addr in peers.items()
+    ):
+        raise WireError("peers frame is not a {shard: (host, port)} map")
+    return peers
+
+
+def encode_control(message: object) -> bytes:
+    return pack_frame(
+        CONTROL,
+        pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL),
+        max_frame=CONTROL_MAX_FRAME,
+    )
+
+
+def decode_control(payload: bytes) -> object:
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - normalized for callers
+        raise WireError(f"undecodable control frame: {exc}") from exc

@@ -75,6 +75,27 @@ class Partition:
             (u, v) for u, v in self.topology.edges() if shard_of[u] == shard_of[v]
         ]
 
+    def peer_shards(self, shard: int) -> tuple[int, ...]:
+        """Shards sharing at least one cross edge with ``shard``.
+
+        These are exactly the shards a cluster worker must open directed
+        channels to (and expect BARRIER frames from): messages between
+        non-peer shards cannot exist, because every send travels a
+        topology edge.
+        """
+        if not 0 <= shard < self.n_shards:
+            raise SimulationError(
+                f"shard must be in 0..{self.n_shards - 1}, got {shard}"
+            )
+        shard_of = self.shard_of
+        peers = {
+            shard_of[u] if shard_of[v] == shard else shard_of[v]
+            for u, v in self.cross_edges()
+            if shard in (shard_of[u], shard_of[v])
+        }
+        peers.discard(shard)
+        return tuple(sorted(peers))
+
     def latency_floor(self, default_lo: int) -> int:
         """The sharded engine's effective lookahead under this partition.
 

@@ -58,7 +58,14 @@ from repro.sim.topology import Topology, topology_from_spec
 from repro.sim.trace import EventKind, Trace, TraceEvent
 from repro.types import RequestState
 
-__all__ = ["ShardedSimulator", "ShardedRunResult"]
+__all__ = [
+    "ShardedSimulator",
+    "ShardedRunResult",
+    "scramble_shard",
+    "shard_result_payload",
+    "merge_worker_traces",
+    "merge_completions",
+]
 
 #: Loss models whose draws depend only on the per-channel stream (no mutable
 #: state shared across channels) — the ones shard composition preserves.
@@ -128,6 +135,56 @@ class ShardedRunResult:
     sync_wall_s: float = 0.0
 
 
+def scramble_shard(
+    sim: Simulator,
+    trace: _KeyedTrace,
+    scramble_seed: int | None,
+    fill_channels: bool,
+) -> tuple[int, int, int]:
+    """Scramble one shard's slice, recording setup segment boundaries.
+
+    Same derivation as ``scramble_system``, but with the trace markers
+    suppressed and the segment lengths recorded: per-host scramble
+    emissions (e.g. a scrambled-in CS occupant's cs-enter) precede the
+    channel INJECTs in serial order, and :func:`merge_worker_traces`
+    reconstructs the markers once, globally.  Returns
+    ``(injected, proc_len, chan_len)``.
+    """
+    injected = 0
+    proc_len = chan_len = 0
+    if scramble_seed is not None:
+        scramble_processes(sim, scramble_seed, emit_trace=False)
+        proc_len = len(trace)
+        if fill_channels:
+            injected = scramble_channels(sim, scramble_seed, emit_trace=False)
+        chan_len = len(trace)
+    return injected, proc_len, chan_len
+
+
+def shard_result_payload(
+    sim: Simulator,
+    trace: _KeyedTrace,
+    proc_len: int,
+    chan_len: int,
+    shard_pids: Sequence[int],
+    driver: "RequestDriver | None",
+    tag: str | None,
+) -> dict[str, Any]:
+    """The per-shard result record every multi-process engine ships back."""
+    finals = {
+        pid: sim.layer(pid, tag).request for pid in shard_pids
+    } if tag else {}
+    return {
+        "events": list(trace),
+        "keys": list(trace.keys),
+        "proc_len": proc_len,
+        "chan_len": chan_len,
+        "stats": sim.stats,
+        "finals": finals,
+        "completions": driver.completed() if driver else [],
+    }
+
+
 def _worker_main(
     conn,
     make_sim: Callable[[Sequence[int]], Simulator],
@@ -159,17 +216,9 @@ def _worker_loop(
     sim = make_sim(shard_pids)
     trace = _KeyedTrace(sim.scheduler)
     sim.trace = trace
-    injected = 0
-    proc_len = chan_len = 0
-    if scramble_seed is not None:
-        # Same derivation as scramble_system, but with segment boundaries
-        # recorded: per-host scramble emissions (e.g. a scrambled-in CS
-        # occupant's cs-enter) precede the channel INJECTs in serial order.
-        scramble_processes(sim, scramble_seed, emit_trace=False)
-        proc_len = len(trace)
-        if fill_channels:
-            injected = scramble_channels(sim, scramble_seed, emit_trace=False)
-        chan_len = len(trace)
+    injected, proc_len, chan_len = scramble_shard(
+        sim, trace, scramble_seed, fill_channels
+    )
     driver: RequestDriver | None = None
     if driver_cfg is not None:
         driver = RequestDriver(sim, pids=shard_pids, **driver_cfg)
@@ -188,20 +237,11 @@ def _worker_loop(
             conn.send(("adv-ok", sim.drain_outbox(), done_at, compute_s))
         elif op == "result":
             tag = driver_cfg["tag"] if driver_cfg else None
-            finals = {
-                pid: sim.layer(pid, tag).request for pid in shard_pids
-            } if tag else {}
             conn.send((
                 "result",
-                {
-                    "events": list(trace),
-                    "keys": list(trace.keys),
-                    "proc_len": proc_len,
-                    "chan_len": chan_len,
-                    "stats": sim.stats,
-                    "finals": finals,
-                    "completions": driver.completed() if driver else [],
-                },
+                shard_result_payload(
+                    sim, trace, proc_len, chan_len, shard_pids, driver, tag
+                ),
             ))
         elif op == "stop":
             conn.close()
@@ -431,23 +471,15 @@ class ShardedSimulator:
                 if proc.is_alive():
                     proc.terminate()
 
-        trace = self._merge_traces(
+        trace = merge_worker_traces(
             payloads, scramble_seed is not None, fill_channels, injected
         )
         stats = SimStats()
         finals: dict[int, RequestState] = {}
-        per_pid_completions: dict[int, list[CompletedRequest]] = {}
         for payload in payloads:
             stats.merge(payload["stats"])
             finals.update(payload["finals"])
-            for completion in payload["completions"]:
-                per_pid_completions.setdefault(completion.pid, []).append(completion)
-        # Serial order: collect per pid ascending, then stable-sort by
-        # completion time (RequestDriver.completed does exactly this).
-        completions: list[CompletedRequest] = []
-        for pid in sorted(per_pid_completions):
-            completions.extend(per_pid_completions[pid])
-        completions.sort(key=lambda c: c.completed_at)
+        completions = merge_completions(payloads)
         assert final_target is not None
         return ShardedRunResult(
             trace=trace,
@@ -463,53 +495,73 @@ class ShardedSimulator:
             sync_wall_s=sync_wall,
         )
 
-    # -- trace merging -----------------------------------------------------
 
-    def _merge_traces(
-        self,
-        payloads: list[dict[str, Any]],
-        scrambled: bool,
-        fill_channels: bool,
-        injected: int,
-    ) -> Trace:
-        trace = Trace()
-        if scrambled:
-            # The serial scramble emits: per-host scramble emissions in pid
-            # order (e.g. a scrambled-in CS occupant's cs-enter), the
-            # process-scramble marker, one INJECT per garbage message in
-            # (src asc, dst asc) channel order, then the channel summary.
-            # Workers suppressed their markers; reconstruct the sequence.
-            proc_setup: list[tuple[int, int, TraceEvent]] = []
-            chan_setup: list[tuple[int, int, int, TraceEvent]] = []
-            for payload in payloads:
-                events = payload["events"]
-                for index, event in enumerate(events[: payload["proc_len"]]):
-                    pid = event.process if event.process is not None else -1
-                    proc_setup.append((pid, index, event))
-                for index, event in enumerate(
-                    events[payload["proc_len"]: payload["chan_len"]]
-                ):
-                    chan_setup.append(
-                        (event.get("src", -1), event.get("dst", -1), index, event)
-                    )
-            proc_setup.sort(key=lambda item: item[:2])
-            chan_setup.sort(key=lambda item: item[:3])
-            trace.extend(event for *_rank, event in proc_setup)
-            trace.emit(0, EventKind.SCRAMBLE, None, what="processes")
-            if fill_channels:
-                trace.extend(event for *_rank, event in chan_setup)
-                trace.emit(
-                    0, EventKind.SCRAMBLE, None, what="channels", injected=injected
+def merge_worker_traces(
+    payloads: list[dict[str, Any]],
+    scrambled: bool,
+    fill_channels: bool,
+    injected: int,
+) -> Trace:
+    """Merge per-shard keyed traces back into the serial append order.
+
+    Shared by every multi-process engine (sharded workers over pipes,
+    cluster workers over sockets): each payload is a
+    :func:`shard_result_payload` record carrying the shard's events and
+    their ``(time, key, emit_index)`` positions.
+    """
+    trace = Trace()
+    if scrambled:
+        # The serial scramble emits: per-host scramble emissions in pid
+        # order (e.g. a scrambled-in CS occupant's cs-enter), the
+        # process-scramble marker, one INJECT per garbage message in
+        # (src asc, dst asc) channel order, then the channel summary.
+        # Workers suppressed their markers; reconstruct the sequence.
+        proc_setup: list[tuple[int, int, TraceEvent]] = []
+        chan_setup: list[tuple[int, int, int, TraceEvent]] = []
+        for payload in payloads:
+            events = payload["events"]
+            for index, event in enumerate(events[: payload["proc_len"]]):
+                pid = event.process if event.process is not None else -1
+                proc_setup.append((pid, index, event))
+            for index, event in enumerate(
+                events[payload["proc_len"]: payload["chan_len"]]
+            ):
+                chan_setup.append(
+                    (event.get("src", -1), event.get("dst", -1), index, event)
                 )
-        merged: list[tuple[int, int, int, int, int, TraceEvent]] = []
-        for worker_index, payload in enumerate(payloads):
-            setup_len = payload["chan_len"]
-            events = payload["events"][setup_len:]
-            keys = payload["keys"][setup_len:]
-            for event, (time, key, emit_index) in zip(events, keys):
-                merged.append(
-                    (time, key, _merge_rank(event, key), emit_index, worker_index, event)
-                )
-        merged.sort(key=lambda item: item[:5])
-        trace.extend(item[5] for item in merged)
-        return trace
+        proc_setup.sort(key=lambda item: item[:2])
+        chan_setup.sort(key=lambda item: item[:3])
+        trace.extend(event for *_rank, event in proc_setup)
+        trace.emit(0, EventKind.SCRAMBLE, None, what="processes")
+        if fill_channels:
+            trace.extend(event for *_rank, event in chan_setup)
+            trace.emit(
+                0, EventKind.SCRAMBLE, None, what="channels", injected=injected
+            )
+    merged: list[tuple[int, int, int, int, int, TraceEvent]] = []
+    for worker_index, payload in enumerate(payloads):
+        setup_len = payload["chan_len"]
+        events = payload["events"][setup_len:]
+        keys = payload["keys"][setup_len:]
+        for event, (time, key, emit_index) in zip(events, keys):
+            merged.append(
+                (time, key, _merge_rank(event, key), emit_index, worker_index, event)
+            )
+    merged.sort(key=lambda item: item[:5])
+    trace.extend(item[5] for item in merged)
+    return trace
+
+
+def merge_completions(payloads: list[dict[str, Any]]) -> list[CompletedRequest]:
+    """Reassemble the serial completion order from per-shard records:
+    collect per pid ascending, then stable-sort by completion time
+    (``RequestDriver.completed`` does exactly this)."""
+    per_pid: dict[int, list[CompletedRequest]] = {}
+    for payload in payloads:
+        for completion in payload["completions"]:
+            per_pid.setdefault(completion.pid, []).append(completion)
+    completions: list[CompletedRequest] = []
+    for pid in sorted(per_pid):
+        completions.extend(per_pid[pid])
+    completions.sort(key=lambda c: c.completed_at)
+    return completions

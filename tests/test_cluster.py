@@ -1,0 +1,182 @@
+"""Tests for the multi-host cluster runtime (repro.net.cluster).
+
+The expensive property — windowed cluster trials reproduce serial trace
+metrics and the canonical trace hash bit-for-bit — is checked here on one
+small case per protocol (the full matrix lives in
+``benchmarks/check_cluster_equivalence.py``).  The rest exercises the
+coordinator's validation surface, the picklable protocol/driver specs,
+and :meth:`Partition.peer_shards`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runner import execute_trial, run_mutex_trial, run_pif_trial
+from repro.core.pif import PifLayer
+from repro.errors import SimulationError
+from repro.net.cluster import (
+    ClusterSimulator,
+    build_protocol,
+    parse_hostport,
+    payload_from_fmt,
+)
+from repro.sim.partition import partition_topology
+from repro.sim.topology import Ring, topology_from_spec
+from repro.sim.trace import canonical_trace_hash
+
+
+# -- serial equivalence (the tentpole property) ---------------------------
+
+
+def test_windowed_cluster_is_bit_identical_to_serial():
+    driver = dict(tag="pif", requests_per_process=1,
+                  payload_fmt="m-{pid}-{k}")
+    runs = {}
+    for engine, extra in (("serial", {}), ("cluster", {"hosts": 2})):
+        runs[engine] = execute_trial(
+            6, lambda h: h.register(PifLayer("pif")),
+            topology="complete", seed=0, loss=0.1,
+            driver=dict(driver), horizon=2_000_000, engine=engine,
+            protocol={"kind": "pif"}, **extra,
+        )
+    serial, cluster = runs["serial"], runs["cluster"]
+    assert [(e.time, e.kind, e.process, e.data) for e in serial.trace] == \
+           [(e.time, e.kind, e.process, e.data) for e in cluster.trace]
+    assert canonical_trace_hash(serial.trace) == \
+           canonical_trace_hash(cluster.trace)
+    assert serial.stats.as_dict() == cluster.stats.as_dict()
+    assert serial.final_time == cluster.final_time
+    assert serial.completions == cluster.completions
+
+
+def test_cluster_mutex_trial_matches_serial_metrics():
+    serial = run_mutex_trial(5, loss=0.0, requests_per_process=1)
+    cluster = run_mutex_trial(5, loss=0.0, requests_per_process=1,
+                              engine="cluster", hosts=2)
+    assert cluster.ok
+    assert cluster.measurements == serial.measurements
+    assert cluster.provenance["hosts"] == 2
+    assert cluster.provenance["sync"] == "windowed"
+    assert cluster.provenance["barriers"] > 0
+    assert cluster.provenance["registry_round_trips"] == 4
+    assert cluster.provenance["monitors_ok"]
+
+
+def test_freerun_cluster_passes_online_monitors():
+    trial = run_pif_trial(6, loss=0.1, requests_per_process=1,
+                          engine="cluster", hosts=2, sync="freerun")
+    assert trial.ok
+    assert trial.provenance["sync"] == "freerun"
+    assert trial.provenance["monitors_ok"]
+
+
+# -- coordinator validation ----------------------------------------------
+
+
+def test_cluster_requires_picklable_protocol_spec():
+    with pytest.raises(SimulationError, match="picklable protocol spec"):
+        ClusterSimulator(6, None)
+
+
+def test_cluster_rejects_unknown_protocol_kind():
+    with pytest.raises(SimulationError, match="unknown protocol kind"):
+        ClusterSimulator(6, {"kind": "nope"})
+
+
+def test_cluster_rejects_unknown_sync_mode():
+    with pytest.raises(SimulationError, match="sync mode"):
+        ClusterSimulator(6, {"kind": "pif"}, sync="lockstep")
+
+
+def test_cluster_window_bounded_by_lookahead():
+    with pytest.raises(SimulationError, match="window must be in 1..1"):
+        ClusterSimulator(6, {"kind": "pif"}, hosts=2, window=5)
+
+
+def test_wan_topology_widens_cluster_window():
+    top = topology_from_spec("wan:2", 6, seed=0)
+    sim = ClusterSimulator(None, {"kind": "pif"}, topology=top, hosts=2)
+    assert sim.window == sim.lookahead > 1
+
+
+def test_cluster_rejects_callable_driver_payload():
+    sim = ClusterSimulator(6, {"kind": "pif"}, hosts=2)
+    driver = dict(tag="pif", requests_per_process=1,
+                  payload=lambda pid, k: f"m-{pid}-{k}")
+    with pytest.raises(SimulationError, match="payload_fmt"):
+        sim.run_trial(horizon=100, driver=driver)
+
+
+def test_cluster_drain_must_cover_window():
+    sim = ClusterSimulator(6, {"kind": "pif"}, hosts=2)
+    with pytest.raises(SimulationError, match="drain"):
+        sim.run_trial(horizon=100, drain=0)
+
+
+def test_execute_trial_rejects_hosts_without_cluster_engine():
+    driver = dict(tag="pif", requests_per_process=1,
+                  payload_fmt="m-{pid}-{k}")
+    with pytest.raises(SimulationError, match="engine='cluster'"):
+        execute_trial(4, lambda h: h.register(PifLayer("pif")),
+                      driver=driver, horizon=100, hosts=2)
+
+
+def test_execute_trial_rejects_shards_with_cluster_engine():
+    driver = dict(tag="pif", requests_per_process=1,
+                  payload_fmt="m-{pid}-{k}")
+    with pytest.raises(SimulationError, match="hosts=, not shards="):
+        execute_trial(4, lambda h: h.register(PifLayer("pif")),
+                      driver=driver, horizon=100,
+                      engine="cluster", shards=2, protocol={"kind": "pif"})
+
+
+# -- picklable specs ------------------------------------------------------
+
+
+def test_build_protocol_resolves_builders():
+    build = build_protocol({"kind": "me", "cs_duration": 5})
+    assert callable(build)
+
+
+def test_payload_from_fmt_matches_lambda_convention():
+    payload = payload_from_fmt("msg-{pid}-{k}")
+    assert payload(3, 1) == "msg-3-1"
+
+
+def test_parse_hostport():
+    assert parse_hostport("127.0.0.1:4000") == ("127.0.0.1", 4000)
+    with pytest.raises(SimulationError, match="HOST:PORT"):
+        parse_hostport("localhost")
+    with pytest.raises(SimulationError, match="bad port"):
+        parse_hostport("localhost:http")
+
+
+# -- Partition.peer_shards ------------------------------------------------
+
+
+def test_ring_peer_shards_are_neighbours_only():
+    # Explicit contiguous blocks on a 12-ring: each shard touches exactly
+    # its two neighbouring arcs.
+    from repro.sim.partition import Partition
+
+    shards = ((1, 2, 3), (4, 5, 6), (7, 8, 9), (10, 11, 12))
+    partition = Partition(topology=Ring(range(1, 13)), shards=shards)
+    for shard in range(4):
+        assert partition.peer_shards(shard) == tuple(sorted(
+            {(shard - 1) % 4, (shard + 1) % 4}
+        ))
+
+
+def test_complete_peer_shards_are_everyone_else():
+    partition = partition_topology(topology_from_spec("complete", 8, seed=0), 3)
+    for shard in range(3):
+        assert partition.peer_shards(shard) == tuple(
+            s for s in range(3) if s != shard
+        )
+
+
+def test_peer_shards_rejects_out_of_range():
+    partition = partition_topology(topology_from_spec("complete", 6, seed=0), 2)
+    with pytest.raises(SimulationError, match="shard must be in"):
+        partition.peer_shards(2)
