@@ -10,6 +10,15 @@ event for event plus the canonical trace hash — windowed mode's
 bit-identity proof obligation — and asserts every online monitor agreed
 with the offline verdict.
 
+The probe also re-runs the first bit-identity case with the
+:mod:`repro.obs` instruments enabled (``--metrics``/``--timeline``) and
+asserts (a) the canonical hash is *unchanged* by observation — the
+metrics-on bit-identity claim of docs/observability.md — and (b) the
+exported timeline is structurally valid Chrome trace-event JSON covering
+the coordinator plus every worker lane with barrier-wait spans.  The
+timeline lands at ``--timeline-out`` (default
+``BENCH_cluster_timeline.json``) so CI can upload it as an artifact.
+
 ``--freerun-smoke`` additionally runs one E3 trial in ``sync=freerun``
 mode (best-effort progress, online monitors are the verdict) and
 requires completion with all monitors passing; ``--freerun-only`` runs
@@ -19,16 +28,20 @@ non-gating; the windowed gate is the hard contract.
 Usage::
 
     PYTHONPATH=src python benchmarks/check_cluster_equivalence.py \
-        [--freerun-smoke | --freerun-only]
+        [--freerun-smoke | --freerun-only] [--timeline-out PATH]
 """
 
 from __future__ import annotations
 
+import json
 import sys
+import tempfile
 import time
+from pathlib import Path
 
 from repro.analysis.runner import execute_trial, run_mutex_trial, run_pif_trial
 from repro.core.pif import PifLayer
+from repro.obs.spans import validate_chrome_trace
 from repro.sim.trace import canonical_trace_hash
 
 #: (label, runner, n, hosts, trial kwargs) — every topology family the
@@ -115,6 +128,65 @@ def check_bit_identity(topology: str | None, n: int, hosts: int) -> bool:
     return same
 
 
+def check_obs_identity(
+    topology: str | None, n: int, hosts: int, timeline_out: str
+) -> bool:
+    """Metrics-on bit-identity probe + timeline validation.
+
+    Runs the PIF probe twice on the cluster engine — plain, then with
+    metrics and timeline enabled — plus the serial reference, and
+    requires all three canonical hashes to be equal: turning the
+    instruments on must not perturb a deterministic run.  The exported
+    timeline must validate as Chrome trace-event JSON and cover the
+    coordinator plus one lane per worker, each with barrier-wait spans.
+    """
+    driver = dict(tag="pif", requests_per_process=1,
+                  payload_fmt="m-{pid}-{k}")
+    common = dict(
+        topology=topology, seed=0, loss=0.1, driver=driver,
+        horizon=2_000_000, protocol={"kind": "pif"},
+    )
+
+    def probe(engine, **extra):
+        return execute_trial(
+            n, lambda h: h.register(PifLayer("pif")),
+            engine=engine, **common, **extra,
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        serial = probe("serial")
+        plain = probe("cluster", hosts=hosts)
+        observed = probe(
+            "cluster", hosts=hosts,
+            metrics=str(Path(tmp) / "metrics.json"), timeline=timeline_out,
+        )
+    hashes = [canonical_trace_hash(run.trace)
+              for run in (serial, plain, observed)]
+    same = len(set(hashes)) == 1
+
+    doc = json.loads(Path(timeline_out).read_text())
+    problems = validate_chrome_trace(doc)
+    spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    lanes = {e["pid"] for e in spans}
+    barrier_lanes = {e["pid"] for e in spans if e["name"] == "barrier_wait"}
+    if problems:
+        print(f"     timeline invalid: {problems[:5]}")
+    # Lane 0 is the coordinator; every worker shard k gets lane k+1 and
+    # must have recorded barrier waits (windowed mode always barriers).
+    timeline_ok = (
+        not problems
+        and lanes == set(range(hosts + 1))
+        and barrier_lanes == set(range(1, hosts + 1))
+    )
+    ok = same and timeline_ok
+    print(("OK " if ok else "DIVERGED")
+          + f" obs-identity {topology or 'complete'} n={n} hosts={hosts} "
+          f"(hashes equal={same}, timeline {len(spans)} spans over lanes "
+          f"{sorted(lanes)}, barrier lanes {sorted(barrier_lanes)}) "
+          f"-> {timeline_out}")
+    return ok
+
+
 def freerun_smoke() -> bool:
     """One E3 trial in freerun mode; every online monitor must pass."""
     t0 = time.perf_counter()
@@ -131,11 +203,15 @@ def freerun_smoke() -> bool:
 
 def main() -> int:
     args = sys.argv[1:]
+    timeline_out = "BENCH_cluster_timeline.json"
+    if "--timeline-out" in args:
+        timeline_out = args[args.index("--timeline-out") + 1]
     ok = True
     if "--freerun-only" not in args:
         ok = check_metrics()
         ok &= check_bit_identity(None, 8, 2)
         ok &= check_bit_identity("wan:4", 16, 4)
+        ok &= check_obs_identity(None, 8, 2, timeline_out)
     if "--freerun-smoke" in args or "--freerun-only" in args:
         ok &= freerun_smoke()
     print("cluster-equivalence:", "PASS" if ok else "FAIL")

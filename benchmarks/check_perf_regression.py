@@ -10,6 +10,10 @@ workflow run page without downloading artifacts.
 Keys whose delta exceeds the tolerance (default +/-30%) are flagged.
 Counter-style summary keys (window sizes, barrier counts) must match
 exactly — a changed barrier count is a protocol change, not timing noise.
+Parallel-speedup keys are *core-gated*: they only enter the verdict when
+both artifacts record a compatible ``meta.cpu_count`` (see
+:data:`CORE_GATED`), because a 4-worker speedup measured on 2 cores says
+nothing about the code.
 
 Exit code: 0 when every timing key is within tolerance, 1 otherwise.
 CI runs this **non-gating** (shared-runner wall clock is informational —
@@ -35,6 +39,30 @@ DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_perf_baseline.js
 #: Summary keys that are protocol counters, not timings: they must be
 #: bit-equal across runs of the same code on any machine.
 EXACT_KEYS = frozenset({"sharded_window_wan_n128", "sharded_barriers_wan_n128"})
+
+#: Parallel-speedup keys -> cores the measurement needs to mean anything.
+#: The committed baseline's ``sharded_speedup_wan: 0.804`` was measured on
+#: a shared runner where 4 workers contended for fewer cores; comparing it
+#: against a many-core host (or vice versa) measures the hardware, not the
+#: code.  When either artifact lacks ``meta.cpu_count``, has fewer cores
+#: than required, or the two hosts differ, the key is annotated
+#: ``core-gated`` and excluded from the drift verdict.
+CORE_GATED: dict[str, int] = {"summary.sharded_speedup_wan": 4}
+
+
+def _core_gated(key: str, baseline: dict, current: dict) -> bool:
+    required = CORE_GATED.get(key)
+    if required is None:
+        return False
+    base_cpus = baseline.get("meta", {}).get("cpu_count")
+    cur_cpus = current.get("meta", {}).get("cpu_count")
+    return (
+        base_cpus is None
+        or cur_cpus is None
+        or base_cpus < required
+        or cur_cpus < required
+        or base_cpus != cur_cpus
+    )
 
 
 def timing_keys(doc: dict) -> dict[str, float]:
@@ -73,6 +101,10 @@ def compare(baseline: dict, current: dict, tolerance: float) -> tuple[list[list[
             delta = 0.0 if cur == 0 else float("inf")
         else:
             delta = (cur - base) / base
+        if _core_gated(key, baseline, current):
+            rows.append([key, fmt(base), fmt(cur), f"{delta:+.1%}",
+                         "core-gated"])
+            continue
         within = abs(delta) <= tolerance
         ok &= within
         rows.append([key, fmt(base), fmt(cur), f"{delta:+.1%}",

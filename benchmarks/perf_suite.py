@@ -24,6 +24,12 @@ Times the three experiment shapes that dominate real usage, each as a
   what the widened window costs at the barrier, and ``sharded_speedup_wan``
   the wall-clock ratio vs serial (>= 1 only with real parallel hardware —
   informational on shared runners, like every timing here).
+* **obs** — ``summary.obs_overhead_e3`` is the paired metrics+timeline-on
+  over metrics-off ratio on the E3 serial case: what enabling the
+  :mod:`repro.obs` instruments costs (the passive-counter design targets
+  ~1.0x; see docs/observability.md).  ``--check-obs-overhead ARTIFACT``
+  re-reads a written artifact and verdicts that ratio (the non-gating CI
+  step).
 
 Each case runs ``--repeat`` times (median reported; min/max recorded so
 noisy runners are visible in the artifact) and the whole table lands in
@@ -41,13 +47,20 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import sys
+import tempfile
 import time
 from typing import Any, Callable
 
 from repro.analysis.runner import run_mutex_trial, run_pif_trial
+
+#: Advisory bound for --check-obs-overhead: the obs instruments are
+#: passive counters harvested once per trial, so anything beyond a few
+#: percent means a hot path regressed.
+OBS_OVERHEAD_LIMIT = 1.10
 
 
 def _case(
@@ -134,6 +147,45 @@ def _loopback_overhead(repeat: int) -> float:
     return round(statistics.median(ratios), 3)
 
 
+def _obs_overhead(repeat: int) -> float:
+    """Median of per-pair obs-on/obs-off ratios on the E3 serial case.
+
+    Paired like :func:`_loopback_overhead`; the obs-on leg writes real
+    metrics + timeline files (to a temp dir), so the ratio includes the
+    collection *and* serialization cost a user actually pays.
+    """
+    ratios: list[float] = []
+    kwargs = dict(seed=0, loss=0.1, requests_per_process=2)
+    with tempfile.TemporaryDirectory() as tmp:
+        for _ in range(max(repeat, 3)):
+            t0 = time.perf_counter()
+            run_pif_trial(16, engine="serial", **kwargs)
+            t1 = time.perf_counter()
+            run_pif_trial(
+                16, engine="serial",
+                metrics=os.path.join(tmp, "metrics.json"),
+                timeline=os.path.join(tmp, "timeline.json"),
+                **kwargs,
+            )
+            t2 = time.perf_counter()
+            ratios.append((t2 - t1) / (t1 - t0))
+    return round(statistics.median(ratios), 3)
+
+
+def check_obs_overhead(artifact_path: str) -> int:
+    """Verdict the recorded obs-overhead ratio (non-gating CI step)."""
+    with open(artifact_path) as fh:
+        artifact = json.load(fh)
+    ratio = artifact.get("summary", {}).get("obs_overhead_e3")
+    if ratio is None:
+        print(f"{artifact_path}: no summary.obs_overhead_e3 recorded")
+        return 1
+    verdict = "OK" if ratio <= OBS_OVERHEAD_LIMIT else "SLOW"
+    print(f"obs overhead (E3 serial, metrics+timeline on/off): "
+          f"{ratio:.3f}x (limit {OBS_OVERHEAD_LIMIT}x) {verdict}")
+    return 0 if ratio <= OBS_OVERHEAD_LIMIT else 1
+
+
 def _wan_sharded(repeat: int) -> dict[str, Any]:
     """Serial-vs-sharded pairs on the WAN preset (wan:4, n=128, 4 workers).
 
@@ -173,7 +225,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="serial-only grid (e.g. profiling runs)")
     parser.add_argument("--out", default="BENCH_perf.json",
                         help="artifact path (default: BENCH_perf.json)")
+    parser.add_argument("--check-obs-overhead", default=None, metavar="ARTIFACT",
+                        help="instead of running the suite, verdict the "
+                             "summary.obs_overhead_e3 ratio recorded in a "
+                             "written artifact")
     args = parser.parse_args(argv)
+    if args.check_obs_overhead is not None:
+        return check_obs_overhead(args.check_obs_overhead)
     repeat = 2 if args.quick else args.repeat
 
     rows = []
@@ -192,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
     if not args.skip_async:
         summary["loopback_over_serial_e3"] = _loopback_overhead(repeat)
     summary.update(_wan_sharded(repeat))
+    summary["obs_overhead_e3"] = _obs_overhead(repeat)
 
     artifact = {
         "suite": "perf_suite",
@@ -200,6 +259,10 @@ def main(argv: list[str] | None = None) -> int:
         "meta": {
             "python": platform.python_version(),
             "platform": platform.platform(),
+            # Host context: parallel-speedup keys are only comparable
+            # between hosts with similar core counts (see
+            # check_perf_regression.py's core-gated annotation).
+            "cpu_count": os.cpu_count(),
             "repeat": repeat,
         },
     }

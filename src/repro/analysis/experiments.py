@@ -273,6 +273,8 @@ def run_topology_matrix(
     latency: tuple[int, int] = (1, 3),
     hosts: int | None = None,
     sync: str | None = None,
+    metrics: str | None = None,
+    timeline: str | None = None,
 ) -> list[dict[str, Any]]:
     """E11: the topology × fault scenario matrix.
 
@@ -286,8 +288,13 @@ def run_topology_matrix(
     ``engine`` selects the execution backend (``serial``/``sharded``/
     ``async``/``cluster``); serial, sharded, async-loopback and
     cluster-windowed produce identical rows for the same seeds.
+
+    ``metrics``/``timeline`` write one obs file per cell trial, suffixed
+    with the cell's topology/loss/seed (see
+    :func:`repro.obs.recorder.indexed_path`).
     """
     from repro.analysis.runner import run_mutex_trial, run_pif_trial
+    from repro.obs.recorder import indexed_path
     from repro.sim.topology import topology_from_spec
 
     if topologies is None:
@@ -313,12 +320,24 @@ def run_topology_matrix(
             messages = 0
             final_time = 0
             for seed in seeds:
+                obs_kwargs: dict[str, Any] = {}
+                if metrics is not None or timeline is not None:
+                    label = (
+                        f"{spec}-loss{loss}-seed{seed}"
+                        .replace(":", "_").replace(".", "_")
+                    )
+                    if metrics is not None:
+                        obs_kwargs["metrics"] = str(indexed_path(metrics, label))
+                    if timeline is not None:
+                        obs_kwargs["timeline"] = str(
+                            indexed_path(timeline, label)
+                        )
                 trial = runner(
                     n, seed=seed, loss=loss, topology=top,
                     requests_per_process=1, latency=latency,
                     engine=engine, shards=shards, window=window,
                     transport=transport, tick=tick,
-                    hosts=hosts, sync=sync, **extra,
+                    hosts=hosts, sync=sync, **extra, **obs_kwargs,
                 )
                 ok += 1 if trial.ok else 0
                 violations += trial.violations

@@ -32,6 +32,7 @@ from repro.errors import HorizonExceeded, SimulationError
 from repro.net.cluster import ClusterSimulator, payload_from_fmt
 from repro.net.engine import AsyncSimulator
 from repro.net.monitors import MonitorReport, default_monitors
+from repro.obs.recorder import ObsRecorder
 from repro.sim.channel import BernoulliLoss, NoLoss
 from repro.sim.runtime import Simulator
 from repro.sim.sharded import ShardedSimulator
@@ -167,10 +168,15 @@ class EngineRun:
         if self.hosts is not None:
             record["hosts"] = self.hosts
             record["sync"] = self.sync
+            walls = self.worker_wall_s or {}
             record["worker_wall_s"] = {
-                shard: round(seconds, 4)
-                for shard, seconds in (self.worker_wall_s or {}).items()
+                shard: round(seconds, 4) for shard, seconds in walls.items()
             }
+            #: Load imbalance at a glance: slowest minus fastest shard.
+            record["worker_wall_spread_s"] = (
+                round(max(walls.values()) - min(walls.values()), 4)
+                if walls else 0.0
+            )
             record["registry_round_trips"] = self.registry_round_trips
         if self.monitor_reports:
             record["monitors_ok"] = self.monitors_ok
@@ -245,6 +251,8 @@ def execute_trial(
     sync: str | None = None,
     cluster_listen: str | None = None,
     protocol: dict[str, Any] | None = None,
+    metrics: str | None = None,
+    timeline: str | None = None,
 ) -> EngineRun:
     """Run one driven trial on the selected engine.
 
@@ -284,6 +292,13 @@ def execute_trial(
     critical-section grants were spent without serving every request —
     the cheap failure mode for slow-converging configurations such as ME
     on large rings (see docs/engine.md).
+
+    ``metrics``/``timeline`` name output paths for the :mod:`repro.obs`
+    instruments: a JSON metrics snapshot and a Chrome-trace timeline
+    (cluster workers ship their slices back over CONTROL; the files merge
+    every interpreter of the trial).  Observability reads wall clocks and
+    passive counters only — enabling it never changes the trace, stats or
+    canonical hash of a deterministic run (see docs/observability.md).
     """
     top = _resolve_topology(n, topology, seed)
     scramble_seed = seed ^ 0x5EED
@@ -326,7 +341,14 @@ def execute_trial(
             f"tick={tick!r} requires transport='tcp' (the loopback transport "
             f"runs virtual time), got transport={transport!r}"
         )
+    obs: ObsRecorder | None = None
+    if metrics is not None or timeline is not None:
+        obs = ObsRecorder(
+            metrics=metrics is not None, timeline=timeline is not None
+        )
+        obs.mark_wire_baseline()
     start_clock = time.perf_counter()
+    run: EngineRun | None = None
     if engine == "serial":
         sim = Simulator(
             n if top is None else None,
@@ -338,8 +360,15 @@ def execute_trial(
             latency=latency,
         )
         if scramble:
-            sim.scramble(seed=scramble_seed)
+            if obs is not None:
+                with obs.phase("scramble"):
+                    sim.scramble(seed=scramble_seed)
+            else:
+                sim.scramble(seed=scramble_seed)
         drv = RequestDriver(sim, **driver)
+        serve_ctx = obs.phase("serve") if obs is not None else None
+        if serve_ctx is not None:
+            serve_ctx.__enter__()
         if round_budget is None:
             completed = sim.run(horizon, until=lambda s: drv.done)
         else:
@@ -355,8 +384,15 @@ def execute_trial(
                     requested=drv.total_planned(),
                     rounds=guard.rounds,
                 )
-        sim.run(sim.now + DRAIN_TICKS)
-        return EngineRun(
+        if serve_ctx is not None:
+            serve_ctx.__exit__(None, None, None)
+        if obs is not None:
+            with obs.phase("drain"):
+                sim.run(sim.now + DRAIN_TICKS)
+            obs.collect_sim(sim)
+        else:
+            sim.run(sim.now + DRAIN_TICKS)
+        run = EngineRun(
             trace=sim.trace,
             stats=sim.stats,
             finals={p: sim.layer(p, tag).request for p in sim.pids},
@@ -368,7 +404,7 @@ def execute_trial(
             engine=engine,
             wall_clock_s=time.perf_counter() - start_clock,
         )
-    if engine == "sharded":
+    elif engine == "sharded":
         sharded = ShardedSimulator(
             n if top is None else None,
             build,
@@ -385,8 +421,9 @@ def execute_trial(
             scramble_seed=scramble_seed if scramble else None,
             driver=driver,
             drain=DRAIN_TICKS,
+            obs=obs,
         )
-        return EngineRun(
+        run = EngineRun(
             trace=result.trace,
             stats=result.stats,
             finals=result.finals,
@@ -401,7 +438,7 @@ def execute_trial(
             barriers=result.barriers,
             sync_wall_s=result.sync_wall_s,
         )
-    if engine == "async":
+    elif engine == "async":
         asim = AsyncSimulator(
             n if top is None else None,
             build,
@@ -415,13 +452,23 @@ def execute_trial(
         )
         for monitor in default_monitors(tag, asim.topology):
             asim.attach_monitor(monitor)
-        result = asim.run_trial(
-            horizon=horizon,
-            scramble_seed=scramble_seed if scramble else None,
-            driver=driver,
-            drain=DRAIN_TICKS,
-        )
-        return EngineRun(
+        if obs is not None:
+            with obs.phase("trial", transport=transport):
+                result = asim.run_trial(
+                    horizon=horizon,
+                    scramble_seed=scramble_seed if scramble else None,
+                    driver=driver,
+                    drain=DRAIN_TICKS,
+                )
+            obs.collect_sim(asim)
+        else:
+            result = asim.run_trial(
+                horizon=horizon,
+                scramble_seed=scramble_seed if scramble else None,
+                driver=driver,
+                drain=DRAIN_TICKS,
+            )
+        run = EngineRun(
             trace=result.trace,
             stats=result.stats,
             finals=result.finals,
@@ -435,7 +482,7 @@ def execute_trial(
             wall_clock_s=time.perf_counter() - start_clock,
             monitor_reports=result.monitor_reports,
         )
-    if engine == "cluster":
+    elif engine == "cluster":
         cluster = ClusterSimulator(
             n if top is None else None,
             protocol,
@@ -454,6 +501,7 @@ def execute_trial(
             scramble_seed=scramble_seed if scramble else None,
             driver=driver,
             drain=DRAIN_TICKS,
+            obs=obs,
         )
         # The workers ran monitor-free (their slices see only local
         # emissions); replay the online automata over the merged trace.
@@ -464,7 +512,7 @@ def execute_trial(
         for event_time, kind, process, data in result.trace.scan():
             for monitor in monitors:
                 monitor.observe(event_time, kind, process, data)
-        return EngineRun(
+        run = EngineRun(
             trace=result.trace,
             stats=result.stats,
             finals=result.finals,
@@ -484,9 +532,29 @@ def execute_trial(
             worker_wall_s=result.worker_wall_s,
             registry_round_trips=result.registry_round_trips,
         )
-    raise SimulationError(
-        f"unknown engine {engine!r}; expected serial, sharded, async or cluster"
-    )
+    if run is None:
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected serial, sharded, async "
+            "or cluster"
+        )
+    if obs is not None:
+        obs.collect_monitors(run.monitor_reports)
+        obs.collect_wire()
+        obs.write(
+            metrics,
+            timeline,
+            context={
+                "engine": engine,
+                "n": len(run.pids),
+                "seed": seed,
+                "loss": loss,
+                "topology": run.topology.name,
+                "tag": tag,
+                "transport": transport if engine == "async" else None,
+                "wall_clock_s": round(run.wall_clock_s, 4),
+            },
+        )
+    return run
 
 
 def run_pif_trial(
@@ -509,6 +577,8 @@ def run_pif_trial(
     hosts: int | None = None,
     sync: str | None = None,
     cluster_listen: str | None = None,
+    metrics: str | None = None,
+    timeline: str | None = None,
 ) -> TrialResult:
     """One PIF trial (E3): all processes broadcast; Specification 1 checked."""
     if max_state is None:
@@ -537,6 +607,8 @@ def run_pif_trial(
         sync=sync,
         cluster_listen=cluster_listen,
         protocol={"kind": "pif", "max_state": max_state},
+        metrics=metrics,
+        timeline=timeline,
     )
     if not run.completed:
         raise HorizonExceeded(
@@ -588,6 +660,8 @@ def run_idl_trial(
     hosts: int | None = None,
     sync: str | None = None,
     cluster_listen: str | None = None,
+    metrics: str | None = None,
+    timeline: str | None = None,
 ) -> TrialResult:
     """One IDL trial (E4): Specification 2 checked against ground truth."""
 
@@ -614,6 +688,8 @@ def run_idl_trial(
         sync=sync,
         cluster_listen=cluster_listen,
         protocol={"kind": "idl", "idents": idents},
+        metrics=metrics,
+        timeline=timeline,
     )
     if not run.completed:
         raise HorizonExceeded(
@@ -666,6 +742,8 @@ def run_mutex_trial(
     hosts: int | None = None,
     sync: str | None = None,
     cluster_listen: str | None = None,
+    metrics: str | None = None,
+    timeline: str | None = None,
 ) -> TrialResult:
     """One ME trial (E5): Specification 3 checked over the full trace.
 
@@ -705,6 +783,8 @@ def run_mutex_trial(
         cluster_listen=cluster_listen,
         protocol={"kind": "me", "cs_duration": cs_duration,
                   "use_paper_modulus": use_paper_modulus},
+        metrics=metrics,
+        timeline=timeline,
     )
     if require_completion and not run.completed:
         raise HorizonExceeded(

@@ -53,7 +53,7 @@ __all__ = ["main", "build_parser"]
 _EXPERIMENTS = (
     "figure1", "impossibility", "pif", "idl", "mutex",
     "compare", "scaling", "ablations", "property1", "capacity",
-    "matrix", "aggregate", "topology",
+    "matrix", "aggregate", "topology", "obs",
 )
 
 
@@ -153,6 +153,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="address peer shards should dial this worker on (default "
              "127.0.0.1; set to this machine's reachable address when "
              "launching on a remote host)",
+    )
+
+    p = sub.add_parser(
+        "obs",
+        help="summarize obs files written with --metrics/--timeline "
+             "(metrics snapshots and Chrome-trace timelines)",
+    )
+    p.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="obs JSON files; each is auto-detected as a metrics snapshot "
+             "or a Chrome-trace timeline",
     )
 
     p = sub.add_parser(
@@ -263,6 +274,18 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
              "--window values (fewer barriers)",
     )
     parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write a JSON metrics snapshot of the run (scheduler, channel, "
+             "wire and sync counters; see docs/observability.md); with "
+             "multiple seeds each trial writes PATH suffixed by its seed",
+    )
+    parser.add_argument(
+        "--timeline", default=None, metavar="PATH",
+        help="write the run's span timeline as Chrome trace-event JSON "
+             "(loadable in Perfetto / chrome://tracing); cluster workers "
+             "merge into the coordinator's timeline over CONTROL",
+    )
+    parser.add_argument(
         "--profile", type=int, nargs="?", const=15, default=None, metavar="N",
         help="run the experiment under cProfile and print the top N "
              "functions by cumulative time (default 15) after the table — "
@@ -352,7 +375,22 @@ def _cmd_trials(args, runner, title: str) -> str:
         kwargs["horizon"] = args.horizon
     if getattr(args, "round_budget", None) is not None:
         kwargs["round_budget"] = args.round_budget
-    trials = [runner(args.n, seed=s, **kwargs) for s in args.seeds]
+
+    def obs_paths(seed: int) -> dict:
+        # One file per trial: multi-seed runs suffix each path by seed.
+        from repro.obs.recorder import indexed_path
+
+        paths = {}
+        for opt in ("metrics", "timeline"):
+            path = getattr(args, opt, None)
+            if path is not None:
+                if len(args.seeds) > 1:
+                    path = str(indexed_path(path, f"seed{seed}"))
+                paths[opt] = path
+        return paths
+
+    trials = [runner(args.n, seed=s, **kwargs, **obs_paths(s))
+              for s in args.seeds]
     keys = ["n", "topology", "engine", "seed", "loss", "ok", "violations"]
     extra = sorted(
         k for k in trials[0].measurements if isinstance(
@@ -360,12 +398,13 @@ def _cmd_trials(args, runner, title: str) -> str:
     )
     prov = ["wall_clock_s"]
     if args.engine == "sharded":
-        prov += ["window", "barriers"]
+        prov += ["window", "barriers", "sync_wall_s"]
     if args.engine == "async":
         prov += ["transport", "monitors_ok"]
     if args.engine == "cluster":
-        prov += ["hosts", "sync", "window", "barriers",
-                 "registry_round_trips", "monitors_ok"]
+        prov += ["hosts", "sync", "window", "barriers", "sync_wall_s",
+                 "worker_wall_spread_s", "registry_round_trips",
+                 "monitors_ok"]
     return render_table(
         keys + extra + prov,
         [t.row(*(keys + extra + prov)) for t in trials],
@@ -442,6 +481,7 @@ def _cmd_matrix(args) -> str:
         transport=args.transport, tick=args.tick, horizon=args.horizon,
         latency=tuple(args.latency),
         hosts=args.hosts, sync=args.sync,
+        metrics=args.metrics, timeline=args.timeline,
     )
     return render_table(
         list(rows[0].keys()), [list(r.values()) for r in rows],
@@ -490,6 +530,12 @@ def _cmd_topology(args) -> str:
         [[key, value] for key, value in info.items()],
         title=f"topology — {top.name}",
     )
+
+
+def _cmd_obs(args) -> str:
+    from repro.obs import summarize_obs_file
+
+    return "\n\n".join(summarize_obs_file(path) for path in args.paths)
 
 
 def _cmd_capacity(args) -> str:
@@ -575,6 +621,8 @@ def _run_command(args) -> int:
         output = _cmd_aggregate(args)
     elif args.command == "topology":
         output = _cmd_topology(args)
+    elif args.command == "obs":
+        output = _cmd_obs(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     print(output)

@@ -62,6 +62,11 @@ class VirtualClock(Scheduler):
     they cost the serial engine.
     """
 
+    #: Passive obs counter: same-owner runs dispatched by drive (inline
+    #: or routed) — the unit the batched-handoff optimization amortizes
+    #: over.  Accumulated once per drive call, not per run.
+    runs = 0
+
     async def drive(
         self,
         max_time: int,
@@ -77,6 +82,7 @@ class VirtualClock(Scheduler):
         if stop is not None and stop():
             return True
         halted = False
+        runs = 0
         queue = self._queue
         heappop = heapq.heappop
         owner_of = key_owner  # called twice per event; bind once
@@ -128,6 +134,7 @@ class VirtualClock(Scheduler):
             else:
                 fn = item
             self._now = tick
+            runs += 1
             if owner_of(key) == 0:
                 drain(fn, key)
             else:
@@ -135,6 +142,7 @@ class VirtualClock(Scheduler):
             if halted:
                 break
         self.current_key = 0
+        self.runs += runs
         if self._now < max_time and (not queue or queue[0][0] > max_time):
             self._now = max_time
         return halted
@@ -155,6 +163,9 @@ class PacedClock(Scheduler):
         if tick_seconds <= 0:
             raise ValueError(f"tick_seconds must be > 0, got {tick_seconds}")
         self.tick_seconds = tick_seconds
+        #: Passive obs counter: events routed by drive (tcp is wall-clock
+        #: paced, so one increment per event is noise).
+        self.runs = 0
         self._t0: float | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
 
@@ -237,6 +248,7 @@ class PacedClock(Scheduler):
                     self.current_key = key
                     await route(key, item)
                 self.current_key = 0
+                self.runs += 1
                 # Yield so transport I/O interleaves even under bursts.
                 await asyncio.sleep(0)
                 continue

@@ -66,6 +66,8 @@ from repro.errors import SimulationError
 from repro.net import wire
 from repro.net.engine import AsyncSimulator
 from repro.net.registry import RegistryClient, RegistryServer
+from repro.obs.recorder import ObsRecorder
+from repro.obs.spans import wall
 from repro.sim.channel import LossModel
 from repro.sim.partition import Partition, partition_topology
 from repro.sim.runtime import BuildFn
@@ -345,12 +347,16 @@ class ClusterSimulator:
         fill_channels: bool = True,
         driver: dict[str, Any] | None = None,
         drain: int = 200,
+        obs: ObsRecorder | None = None,
     ) -> ClusterRunResult:
         """Rendezvous the workers, then scramble/serve/drain across shards.
 
         Same trial shape as every other engine; ``drain`` must be >= the
         window (completion is detected at a round boundary, which can
-        overshoot the completion tick by up to one window).
+        overshoot the completion tick by up to one window).  With ``obs``,
+        workers record their own metrics and spans and ship them back in
+        the RESULT control frame, where they merge into the coordinator's
+        recorder — one timeline across every interpreter in the trial.
         """
         if drain < self.window:
             raise SimulationError(
@@ -358,7 +364,9 @@ class ClusterSimulator:
             )
         driver_cfg = _worker_driver_cfg(driver)
         return asyncio.run(
-            self._run(horizon, scramble_seed, fill_channels, driver_cfg, drain)
+            self._run(
+                horizon, scramble_seed, fill_channels, driver_cfg, drain, obs
+            )
         )
 
     def _spawn_workers(self, registry_address: str) -> list[subprocess.Popen]:
@@ -404,6 +412,7 @@ class ClusterSimulator:
         fill_channels: bool,
         driver_cfg: dict[str, Any] | None,
         drain: int,
+        obs: ObsRecorder | None,
     ) -> ClusterRunResult:
         if self.listen is not None:
             reg_host, reg_port = parse_hostport(self.listen)
@@ -415,7 +424,16 @@ class ClusterSimulator:
             await registry.start()
             if self.listen is None:
                 workers = self._spawn_workers(registry.address)
+            rendezvous_wall = wall() if obs is not None else 0.0
             handles = await registry.rendezvous(self.worker_timeout)
+            if obs is not None:
+                obs.spans.record(
+                    "rendezvous", "phase", rendezvous_wall, wall(),
+                    args={"workers": self.n_shards},
+                )
+                obs.metrics.observe(
+                    "registry.rendezvous_wall_s", registry.rendezvous_wall_s
+                )
             spec = {
                 "topology": self.topology,
                 "shards": self.partition.shards,
@@ -425,6 +443,7 @@ class ClusterSimulator:
                 "fill_channels": fill_channels,
                 "driver": driver_cfg,
                 "timeout": self.worker_timeout,
+                "obs": obs is not None,
                 **self._sim_kwargs,
             }
             for handle in handles:
@@ -471,6 +490,7 @@ class ClusterSimulator:
             while final_target is None or t < final_target:
                 cap = horizon if final_target is None else final_target
                 target = min(t + self.window, cap)
+                round_wall = wall() if obs is not None else 0.0
                 round_start = time.perf_counter()
                 for handle in handles:
                     await handle.send(("adv", target))
@@ -483,9 +503,16 @@ class ClusterSimulator:
                     if compute_s > slowest:
                         slowest = compute_s
                 barriers += 1
-                sync_wall += max(
+                round_wait = max(
                     0.0, time.perf_counter() - round_start - slowest
                 )
+                sync_wall += round_wait
+                if obs is not None:
+                    obs.record_round(
+                        "round", round_wall, wall(),
+                        round=barriers - 1, target=target,
+                    )
+                    obs.metrics.observe("sync.round_wait_s", round_wait)
                 t = target
                 if final_target is None:
                     if driver_cfg is not None and all(
@@ -529,6 +556,14 @@ class ClusterSimulator:
         for payload in payloads:
             stats.merge(payload["stats"])
             finals.update(payload["finals"])
+        if obs is not None:
+            for payload in payloads:
+                if payload.get("obs") is not None:
+                    obs.merge_worker(payload["obs"])
+            obs.metrics.inc("sync.barriers", barriers)
+            obs.metrics.gauge_max("sync.window", self.window)
+            obs.metrics.observe("sync.wall_s", sync_wall)
+            obs.metrics.inc("registry.round_trips", registry.round_trips)
         assert final_target is not None
         return ClusterRunResult(
             trace=trace,
@@ -756,6 +791,12 @@ class _ClusterWorker:
             await self.client.send(("ready", injected))
             clock = engine.scheduler
             round_no = 0
+            obs: ObsRecorder | None = None
+            if spec.get("obs"):
+                # Coordinator lane is pid 0; worker lanes follow shard order.
+                obs = ObsRecorder(
+                    pid=self.shard + 1, name=f"shard{self.shard}"
+                )
             while True:
                 message = await asyncio.wait_for(
                     self.client.recv(), timeout=self.timeout
@@ -765,10 +806,28 @@ class _ClusterWorker:
                     _, target = message
                     round_no += 1
                     if self.sync == "windowed":
-                        await self._await_barriers(round_no - 1)
+                        if obs is not None:
+                            w0 = wall()
+                            await self._await_barriers(round_no - 1)
+                            w1 = wall()
+                            obs.spans.record(
+                                "barrier_wait", "round", w0, w1,
+                                args={"round": round_no - 1},
+                            )
+                            obs.metrics.observe(
+                                "sync.barrier_wait_s", w1 - w0
+                            )
+                        else:
+                            await self._await_barriers(round_no - 1)
+                    w0 = wall() if obs is not None else 0.0
                     t0 = time.perf_counter()
                     await clock.drive(target, engine._route)
                     compute_s = time.perf_counter() - t0
+                    if obs is not None:
+                        obs.record_round(
+                            "compute", w0, wall(),
+                            round=round_no, target=target,
+                        )
                     engine._raise_net_errors()
                     if self._errors:
                         raise SimulationError(
@@ -779,11 +838,15 @@ class _ClusterWorker:
                     await self.client.send(("adv-ok", done_at, compute_s))
                 elif op == "result":
                     tag = driver_cfg["tag"] if driver_cfg else None
+                    if obs is not None:
+                        # Fresh interpreter: absolute wire counts are this
+                        # trial's (no baseline needed).
+                        obs.collect_wire()
                     await self.client.send((
                         "result",
                         shard_result_payload(
                             engine, trace, proc_len, chan_len,
-                            shard_pids, driver, tag,
+                            shard_pids, driver, tag, obs=obs,
                         ),
                     ))
                 elif op == "stop":

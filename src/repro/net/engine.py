@@ -184,6 +184,10 @@ class AsyncSimulator(Simulator):
         self._tasks: set[asyncio.Task] = set()
         self._fabric: TcpFabric | None = None
         self._consumed = False
+        # Passive obs counters (harvested by collect_obs): actor handoffs
+        # the router paid vs elided via the empty-inbox fast path.
+        self._handoffs_taken = 0
+        self._handoffs_elided = 0
         super().__init__(pids, build, **sim_kwargs)
         self.monitors: list[OnlineMonitor] = list(monitors or ())
         for monitor in self.monitors:
@@ -274,8 +278,10 @@ class AsyncSimulator(Simulator):
         """
         actor = self._actors.get(key_owner(key))
         if actor is None or not actor.inbox.qsize():
+            self._handoffs_elided += 1
             fn()
         else:
+            self._handoffs_taken += 1
             await actor.execute(fn)
 
     def _raise_net_errors(self) -> None:
@@ -371,6 +377,18 @@ class AsyncSimulator(Simulator):
             )
         finally:
             await self._teardown()
+
+    def collect_obs(self, metrics) -> None:
+        """Serial-engine counters plus the async engine's own: actor
+        handoffs and per-transport traffic (see :mod:`repro.obs`)."""
+        super().collect_obs(metrics)
+        metrics.inc("actor.handoffs_taken", self._handoffs_taken)
+        metrics.inc("actor.handoffs_elided", self._handoffs_elided)
+        metrics.inc("clock.runs", getattr(self.scheduler, "runs", 0))
+        frames = sum(
+            transport.frames_sent for transport in self._transports.values()
+        )
+        metrics.inc("transport.channel_frames", frames)
 
     async def _teardown(self) -> None:
         for transport in self._transports.values():

@@ -45,16 +45,31 @@ __all__ = [
 
 @dataclass
 class MonitorReport:
-    """Final verdict of one online monitor."""
+    """Final verdict of one online monitor.
+
+    ``events_observed`` counts the emissions the automaton actually
+    consumed (after its tag filter) and ``first_violation_time`` is the
+    tick that committed the earliest violation (for liveness residues:
+    the tick the unanswered request / undecided wave started) — the two
+    numbers that make a freerun verdict diagnosable rather than a bare
+    pass/fail.
+    """
 
     name: str
     ok: bool
     violations: list[str]
     info: dict[str, Any] = field(default_factory=dict)
+    events_observed: int = 0
+    first_violation_time: int | None = None
 
     def summary(self) -> str:
-        state = "ok" if self.ok else f"{len(self.violations)} violation(s)"
-        return f"{self.name}: {state}"
+        events = f"{self.events_observed} event(s) observed"
+        if self.ok:
+            return f"{self.name}: ok ({events})"
+        state = f"{len(self.violations)} violation(s)"
+        if self.first_violation_time is not None:
+            state += f", first at t={self.first_violation_time}"
+        return f"{self.name}: {state} ({events})"
 
 
 class OnlineMonitor(abc.ABC):
@@ -109,12 +124,14 @@ class RequestLivenessMonitor(OnlineMonitor):
         self.tag = tag
         self._pending: dict[int, int] = {}
         self._served = 0
+        self._observed = 0
 
     def observe(
         self, time: int, kind: str, process: int | None, data: Mapping[str, Any]
     ) -> None:
         if data.get("tag") != self.tag or process is None:
             return
+        self._observed += 1
         if kind == EventKind.REQUEST:
             self._pending.setdefault(process, time)
         elif kind == EventKind.DECIDE:
@@ -127,7 +144,11 @@ class RequestLivenessMonitor(OnlineMonitor):
             for pid, t in sorted(self._pending.items())
         ]
         return MonitorReport(
-            self.name, not violations, violations, {"served": self._served}
+            self.name, not violations, violations, {"served": self._served},
+            events_observed=self._observed,
+            first_violation_time=(
+                min(self._pending.values()) if self._pending else None
+            ),
         )
 
 
@@ -169,17 +190,25 @@ class PifWaveMonitor(OnlineMonitor):
         self.violations: list[str] = []
         self._waves: dict[tuple[int, int], _WaveState] = {}
         self._decided = 0
+        self._observed = 0
+        self._first_violation_at: int | None = None
 
     def _others(self, initiator: int) -> tuple[int, ...]:
         if self.neighbors is not None:
             return tuple(self.neighbors[initiator])
         return tuple(q for q in self.pids if q != initiator)
 
+    def _flag(self, time: int, message: str) -> None:
+        if self._first_violation_at is None:
+            self._first_violation_at = time
+        self.violations.append(message)
+
     def observe(
         self, time: int, kind: str, process: int | None, data: Mapping[str, Any]
     ) -> None:
         if data.get("tag") != self.tag:
             return
+        self._observed += 1
         if kind == EventKind.START and "wave" in data:
             self._waves[data["wave"]] = _WaveState(
                 process, data.get("payload"), time  # type: ignore[arg-type]
@@ -201,17 +230,19 @@ class PifWaveMonitor(OnlineMonitor):
             if wave is None:
                 return
             if wave.decided:
-                self.violations.append(
+                self._flag(
+                    time,
                     f"acknowledgment from {data.get('sender')} at t={time} "
-                    f"arrived after wave {wid} decided"
+                    f"arrived after wave {wid} decided",
                 )
                 return
             sender = data.get("sender")
             count = wave.fck_counts.get(sender, 0) + 1
             wave.fck_counts[sender] = count
             if count > 1:
-                self.violations.append(
-                    f"{count} acknowledgments from {sender} counted for wave {wid}"
+                self._flag(
+                    time,
+                    f"{count} acknowledgments from {sender} counted for wave {wid}",
                 )
         elif kind == EventKind.DECIDE and "wave" in data:
             wave = self._waves.get(data["wave"])
@@ -220,31 +251,39 @@ class PifWaveMonitor(OnlineMonitor):
             wave.decided = True
             self._decided += 1
             others = self._others(wave.initiator)
-            self.violations.extend(wave.bad_payloads)
+            for bad in wave.bad_payloads:
+                self._flag(time, bad)
             for q in others:
                 if q not in wave.brd_ok:
-                    self.violations.append(
+                    self._flag(
+                        time,
                         f"p{q} never received broadcast of wave {data['wave']} "
-                        f"(payload {wave.payload!r})"
+                        f"(payload {wave.payload!r})",
                     )
                 if wave.fck_counts.get(q, 0) == 0:
-                    self.violations.append(
+                    self._flag(
+                        time,
                         f"initiator never received acknowledgment from {q} "
-                        f"for wave {data['wave']}"
+                        f"for wave {data['wave']}",
                     )
 
     def report(self) -> MonitorReport:
         violations = list(self.violations)
+        first = self._first_violation_at
         for wid, wave in sorted(self._waves.items()):
             if not wave.decided:
                 violations.append(
                     f"wave {wid} started at t={wave.start_time} never decided"
                 )
+                if first is None or wave.start_time < first:
+                    first = wave.start_time
         return MonitorReport(
             self.name,
             not violations,
             violations,
             {"waves_started": len(self._waves), "waves_decided": self._decided},
+            events_observed=self._observed,
+            first_violation_time=first,
         )
 
 
@@ -268,6 +307,8 @@ class MutexExclusionMonitor(OnlineMonitor):
         self._occupants: dict[int, tuple[int, bool]] = {}
         self.violations: list[str] = []
         self._cs_count = 0
+        self._observed = 0
+        self._first_violation_at: int | None = None
 
     def _conflict(self, p: int, q: int) -> bool:
         if self._cluster_sets is None:
@@ -279,6 +320,7 @@ class MutexExclusionMonitor(OnlineMonitor):
     ) -> None:
         if data.get("tag") != self.tag or process is None:
             return
+        self._observed += 1
         pid = process
         if kind == EventKind.CS_ENTER:
             requested = bool(data.get("requested", True))
@@ -288,6 +330,8 @@ class MutexExclusionMonitor(OnlineMonitor):
                     and (requested or other_requested)
                     and self._conflict(pid, other)
                 ):
+                    if self._first_violation_at is None:
+                        self._first_violation_at = time
                     self.violations.append(
                         f"critical sections overlap at t={time}: "
                         f"p{pid} (requested={requested}) entered while "
@@ -305,6 +349,8 @@ class MutexExclusionMonitor(OnlineMonitor):
             not self.violations,
             list(self.violations),
             {"cs_count": self._cs_count},
+            events_observed=self._observed,
+            first_violation_time=self._first_violation_at,
         )
 
 

@@ -100,6 +100,9 @@ class RegistryServer:
         #: REGISTER/PEERS exchanges served (one per worker on a clean run;
         #: rejected duplicates count too — they cost a round trip).
         self.round_trips = 0
+        #: Wall seconds :meth:`rendezvous` spent from wait to PEERS
+        #: broadcast complete (repro.obs provenance).
+        self.rendezvous_wall_s = 0.0
         self._server: asyncio.Server | None = None
         self._handles: dict[int, _WorkerHandle] = {}
         self._complete: asyncio.Event = asyncio.Event()
@@ -154,6 +157,7 @@ class RegistryServer:
         Returns the handles in shard order.  Raises on duplicate or
         malformed registrations and on timeout.
         """
+        started = asyncio.get_running_loop().time()
         try:
             await asyncio.wait_for(self._complete.wait(), timeout=timeout)
         except asyncio.TimeoutError:
@@ -176,6 +180,7 @@ class RegistryServer:
             handle.writer.write(frame)
             await handle.writer.drain()
             self.round_trips += 1
+        self.rendezvous_wall_s = asyncio.get_running_loop().time() - started
         return [self._handles[shard] for shard in sorted(self._handles)]
 
     async def close(self) -> None:

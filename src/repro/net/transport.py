@@ -55,6 +55,10 @@ __all__ = ["Transport", "LoopbackTransport", "TcpTransport", "TcpFabric"]
 class Transport(abc.ABC):
     """Delivery mechanism of one directed channel."""
 
+    #: Frames this transport put on a real medium (repro.obs; loopback
+    #: never frames anything, so the base value stands).
+    frames_sent = 0
+
     def __init__(self, engine: "AsyncSimulator", channel: ChannelBase) -> None:
         self.engine = engine
         self.channel = channel
@@ -93,6 +97,7 @@ class TcpTransport(Transport):
         # serial engine keeps in ``Simulator._chan_fast``): the emulated
         # link latency comes from the same per-channel draws.
         self._randint = engine.chan_rng(channel.src, channel.dst).randint
+        self.frames_sent = 0
         self._outbox: asyncio.Queue[_Entry | None] = asyncio.Queue()
         self._writer_task = engine._spawn(
             self._writer_loop(), name=f"ship-{channel.src}-{channel.dst}"
@@ -123,6 +128,7 @@ class TcpTransport(Transport):
             if delay > 0:
                 await asyncio.sleep(delay)
             writer.write(wire.encode_message(entry.seq, entry.msg))
+            self.frames_sent += 1
             await writer.drain()
             # Sender-owned slot release, same guarded rule as the serial
             # engine's cross-shard path (ship time stands in for the

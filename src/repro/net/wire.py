@@ -56,9 +56,12 @@ __all__ = [
     "PEERS",
     "CONTROL",
     "KINDS",
+    "KIND_NAMES",
     "MAX_FRAME",
     "CONTROL_MAX_FRAME",
+    "STATS",
     "WireError",
+    "WireStats",
     "pack_frame",
     "read_frame",
     "encode_hello",
@@ -91,6 +94,17 @@ CONTROL = 0x07
 #: Every frame kind this protocol version understands.
 KINDS = frozenset((HELLO, MESSAGE, BARRIER, SHIP, REGISTER, PEERS, CONTROL))
 
+#: Human names for metric/diagnostic labels.
+KIND_NAMES = {
+    HELLO: "hello",
+    MESSAGE: "message",
+    BARRIER: "barrier",
+    SHIP: "ship",
+    REGISTER: "register",
+    PEERS: "peers",
+    CONTROL: "control",
+}
+
 _HEADER = struct.Struct(">BBI")
 #: Sanity bound on a single channel frame (a protocol message is a few
 #: hundred bytes; anything near this is a corrupt or hostile length prefix).
@@ -108,9 +122,51 @@ class WireError(SimulationError):
     """A malformed or incompatible frame arrived on a connection."""
 
 
+class WireStats:
+    """Process-wide frame/byte counters per frame kind (repro.obs).
+
+    ``pack_frame`` / ``read_frame`` are the two choke points every frame
+    passes through, so two dict probes per frame here cover every
+    transport.  Cumulative for the life of the process: trial-scoped
+    consumers snapshot at trial start and diff at the end (worker
+    interpreters are born fresh, so their absolute counts *are* the
+    trial's).
+    """
+
+    __slots__ = ("frames_out", "bytes_out", "frames_in", "bytes_in")
+
+    def __init__(self) -> None:
+        self.frames_out: dict[int, int] = {}
+        self.bytes_out: dict[int, int] = {}
+        self.frames_in: dict[int, int] = {}
+        self.bytes_in: dict[int, int] = {}
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Kind-named copy, JSON/pickle friendly."""
+        def named(counts: dict[int, int]) -> dict[str, int]:
+            return {KIND_NAMES.get(kind, f"0x{kind:02x}"): value
+                    for kind, value in counts.items()}
+
+        return {
+            "frames_out": named(self.frames_out),
+            "bytes_out": named(self.bytes_out),
+            "frames_in": named(self.frames_in),
+            "bytes_in": named(self.bytes_in),
+        }
+
+
+#: The process-wide counters (one interpreter = one trial participant).
+STATS = WireStats()
+
+
 def pack_frame(kind: int, payload: bytes, *, max_frame: int = MAX_FRAME) -> bytes:
     if len(payload) > max_frame:
         raise WireError(f"frame payload of {len(payload)} bytes exceeds {max_frame}")
+    frames = STATS.frames_out
+    frames[kind] = frames.get(kind, 0) + 1
+    size = _HEADER.size + len(payload)
+    out_bytes = STATS.bytes_out
+    out_bytes[kind] = out_bytes.get(kind, 0) + size
     return _HEADER.pack(kind, PROTOCOL_VERSION, len(payload)) + payload
 
 
@@ -132,6 +188,10 @@ async def read_frame(
     if length > max_frame:
         raise WireError(f"frame length {length} exceeds {max_frame}")
     payload = await reader.readexactly(length) if length else b""
+    frames = STATS.frames_in
+    frames[kind] = frames.get(kind, 0) + 1
+    in_bytes = STATS.bytes_in
+    in_bytes[kind] = in_bytes.get(kind, 0) + _HEADER.size + length
     return kind, payload
 
 

@@ -1,0 +1,207 @@
+"""Per-trial observability funnel: one :class:`ObsRecorder` per process.
+
+The coordinator (``execute_trial`` / the sharded or cluster driver
+loop) owns the primary recorder.  Each worker — a forked sharded worker
+or a cluster worker interpreter — owns its own recorder with a distinct
+Chrome-trace ``pid`` lane, and ships :meth:`ObsRecorder.worker_payload`
+back over its existing result channel (the sharded pipe, or the pickled
+CONTROL frame for cluster workers).  :meth:`ObsRecorder.merge_worker`
+folds those payloads into the coordinator's registry and timeline.
+
+Nothing here touches the deterministic core: collection reads passive
+counters after the fact, and every timestamp comes from the wall clock
+outside the draw paths (the same contract provenance already obeys).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.spans import SpanRecorder, chrome_trace, wall
+
+__all__ = ["ObsRecorder", "indexed_path", "summarize_obs_file"]
+
+#: Chrome-trace process lane of the coordinator; worker ``shard`` uses
+#: lane ``shard + 1``.
+COORDINATOR_PID = 0
+
+
+def _wire_snapshot() -> dict:
+    # Imported lazily so the sim layer can build worker recorders
+    # without paying for (or depending on) the net layer.
+    from repro.net import wire
+
+    return wire.STATS.snapshot()
+
+
+class ObsRecorder:
+    """Metrics + spans for one process of one trial."""
+
+    def __init__(self, *, pid: int = COORDINATOR_PID, name: str = "coordinator",
+                 metrics: bool = True, timeline: bool = True) -> None:
+        self.metrics = MetricsRegistry() if metrics else NULL_METRICS
+        self.spans = SpanRecorder(pid=pid)
+        self.timeline_enabled = timeline
+        self.name = name
+        self.process_names = {pid: name}
+        self._wire_base: dict | None = None
+
+    # -- span helpers -------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str, **args):
+        """Record a coarse phase span (scramble / serve / drain / ...)."""
+        with self.spans.span(name, "phase", **args):
+            yield
+
+    def record_round(self, name: str, t0: float, t1: float, **args) -> None:
+        """A per-window/round span (coordinator barrier round, worker
+        compute slice, worker barrier wait)."""
+        self.spans.record(name, "round", t0, t1, args=args or None)
+
+    # -- collection ---------------------------------------------------
+
+    def collect_sim(self, sim) -> None:
+        """Fold an engine's passive counters into the registry."""
+        sim.collect_obs(self.metrics)
+
+    def mark_wire_baseline(self) -> None:
+        """Snapshot the process-wide wire counters so a later
+        :meth:`collect_wire` reports only this trial's frames.  Worker
+        interpreters are born fresh and skip this (absolute counts are
+        the trial's counts)."""
+        self._wire_base = _wire_snapshot()
+
+    def collect_wire(self) -> None:
+        current = _wire_snapshot()
+        base = self._wire_base or {}
+        for group, values in current.items():
+            base_group = base.get(group, {})
+            for kind, value in values.items():
+                delta = value - base_group.get(kind, 0)
+                if delta:
+                    self.metrics.inc(f"wire.{group}[{kind}]", delta)
+
+    def collect_monitors(self, reports) -> None:
+        for report in reports:
+            self.metrics.inc(f"monitor.events[{report.name}]",
+                             report.events_observed)
+            if not report.ok:
+                self.metrics.inc(f"monitor.violations[{report.name}]",
+                                 len(report.violations))
+
+    # -- worker shipping ----------------------------------------------
+
+    def worker_payload(self) -> dict:
+        """Picklable bundle a worker ships over its result channel."""
+        return {
+            "pid": self.spans.pid,
+            "name": self.name,
+            "metrics": self.metrics.snapshot(),
+            "spans": self.spans.payload(),
+        }
+
+    def merge_worker(self, payload: dict) -> None:
+        self.metrics.merge(payload["metrics"])
+        self.spans.extend(payload["spans"])
+        self.process_names[payload["pid"]] = payload["name"]
+
+    # -- output -------------------------------------------------------
+
+    def timeline_doc(self, context: dict | None = None) -> dict:
+        doc = chrome_trace(self.spans.spans, self.process_names)
+        if context:
+            doc["otherData"] = dict(context)
+        return doc
+
+    def metrics_doc(self, context: dict | None = None) -> dict:
+        doc = {"kind": "repro-obs-metrics", "version": 1,
+               "context": dict(context or {})}
+        doc.update(self.metrics.snapshot())
+        return doc
+
+    def write(self, metrics_path=None, timeline_path=None,
+              context: dict | None = None) -> None:
+        if metrics_path is not None:
+            _dump(Path(metrics_path), self.metrics_doc(context))
+        if timeline_path is not None:
+            _dump(Path(timeline_path), self.timeline_doc(context))
+
+
+def _dump(path: Path, doc: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def indexed_path(path, label) -> Path:
+    """``metrics.json`` + label ``seed3`` -> ``metrics.seed3.json`` —
+    keeps multi-trial CLI runs (seed sweeps, matrix cells) from
+    overwriting one another."""
+    path = Path(path)
+    return path.with_name(f"{path.stem}.{label}{path.suffix or '.json'}")
+
+
+# -- `repro obs` summary rendering ------------------------------------
+
+
+def summarize_obs_file(path) -> str:
+    """Human summary of a written obs file — auto-detects whether it is
+    a metrics document or a Chrome-trace timeline."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return _summarize_timeline(path, doc)
+    return _summarize_metrics(path, doc)
+
+
+def _summarize_metrics(path, doc: dict) -> str:
+    lines = [f"metrics {path}"]
+    context = doc.get("context") or {}
+    if context:
+        lines.append("  context: " + " ".join(
+            f"{k}={context[k]}" for k in sorted(context)))
+    counters = doc.get("counters", {})
+    gauges = doc.get("gauges", {})
+    hists = doc.get("hists", {})
+    if counters:
+        lines.append("  counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"    {name.ljust(width)}  {counters[name]:>12g}")
+    if gauges:
+        lines.append("  gauges (high-water):")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"    {name.ljust(width)}  {gauges[name]:>12g}")
+    if hists:
+        lines.append("  histograms:")
+        width = max(len(name) for name in hists)
+        for name in sorted(hists):
+            count, total, lo, hi = hists[name]
+            mean = total / count if count else 0.0
+            lines.append(f"    {name.ljust(width)}  count={count:g} "
+                         f"mean={mean:g} min={lo:g} max={hi:g}")
+    if not (counters or gauges or hists):
+        lines.append("  (empty)")
+    return "\n".join(lines)
+
+
+def _summarize_timeline(path, doc: dict) -> str:
+    events = doc.get("traceEvents", [])
+    names = {event["pid"]: event["args"]["name"] for event in events
+             if event.get("ph") == "M" and event.get("name") == "process_name"}
+    complete = [event for event in events if event.get("ph") == "X"]
+    lines = [f"timeline {path}: {len(complete)} spans, "
+             f"{len(names) or len({e['pid'] for e in complete})} process lanes"]
+    by_lane: dict[tuple, list] = {}
+    for event in complete:
+        by_lane.setdefault((event["pid"], event["name"]), []).append(event)
+    for (pid, name), group in sorted(by_lane.items()):
+        total_ms = sum(event["dur"] for event in group) / 1000.0
+        lane = names.get(pid, f"pid {pid}")
+        lines.append(f"  {lane:<14} {name:<10} x{len(group):<6} "
+                     f"total {total_ms:.3f} ms")
+    return "\n".join(lines)

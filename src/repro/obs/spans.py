@@ -1,0 +1,121 @@
+"""Wall-clock spans and the Chrome trace-event exporter.
+
+Spans are plain tuples ``(name, cat, pid, tid, t0, dur, args)`` with
+``t0`` an epoch timestamp (``time.time()``) and ``dur`` in seconds —
+epoch timestamps are the one wall clock that is comparable across the
+coordinator and worker interpreters on the same machine, which is what
+lets worker spans shipped over the CONTROL channel merge into a single
+coherent timeline.
+
+The exporter emits the Chrome trace-event JSON object format
+(``{"traceEvents": [...]}``) with complete events (``"ph": "X"``) and
+``process_name`` metadata events, loadable in Perfetto or
+``chrome://tracing``.  Timestamps are rebased to the earliest span so
+the timeline starts at zero.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["SpanRecorder", "chrome_trace", "validate_chrome_trace", "wall"]
+
+#: The span clock.  Epoch seconds: cross-process comparable (unlike
+#: ``perf_counter``), microsecond-ish resolution — plenty for barrier
+#: stalls and worker skew.
+wall = time.time
+
+
+class SpanRecorder:
+    """Accumulates spans for one process of the run.
+
+    ``pid`` is the Chrome-trace process lane: 0 for the coordinator,
+    ``shard + 1`` for sharded/cluster workers.  ``tid`` defaults to 0;
+    use it to separate concurrent strands within one process.
+    """
+
+    __slots__ = ("pid", "spans")
+
+    def __init__(self, pid: int = 0) -> None:
+        self.pid = pid
+        self.spans: list[tuple] = []
+
+    def record(self, name: str, cat: str, t0: float, t1: float, *,
+               tid: int = 0, args: dict | None = None) -> None:
+        self.spans.append((name, cat, self.pid, tid, t0, t1 - t0, args))
+
+    @contextmanager
+    def span(self, name: str, cat: str, *, tid: int = 0, **args):
+        t0 = wall()
+        try:
+            yield
+        finally:
+            self.record(name, cat, t0, wall(), tid=tid, args=args or None)
+
+    def extend(self, spans) -> None:
+        """Merge spans shipped from another recorder (worker payloads
+        arrive as lists of tuples; pid is baked into each span)."""
+        self.spans.extend(tuple(span) for span in spans)
+
+    def payload(self) -> list[tuple]:
+        """Picklable form for the pipe / CONTROL result channel."""
+        return list(self.spans)
+
+
+def chrome_trace(spans, process_names: dict[int, str] | None = None) -> dict:
+    """Render spans as a Chrome trace-event JSON document.
+
+    ``ts``/``dur`` are microseconds, rebased so the earliest span is at
+    ``ts=0``.  ``process_names`` maps pid lanes to display names via
+    ``process_name`` metadata events.
+    """
+    spans = list(spans)
+    base = min((span[4] for span in spans), default=0.0)
+    events = []
+    for pid in sorted(process_names or {}):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": process_names[pid]},
+        })
+    for name, cat, pid, tid, t0, dur, args in sorted(
+            spans, key=lambda s: (s[4], s[2], s[3])):
+        event = {
+            "name": name, "cat": cat, "ph": "X",
+            "ts": round((t0 - base) * 1e6, 3),
+            "dur": round(dur * 1e6, 3),
+            "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Structural check for an exported timeline — returns a list of
+    problems (empty = valid).  Used by the CI probe and the tests; not
+    a full spec validator, but catches every way our exporter could go
+    wrong (missing fields, negative durations, non-numeric stamps)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["document is not an object with a traceEvents list"]
+    for i, event in enumerate(doc["traceEvents"]):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"event {i}: unexpected ph {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"event {i}: missing name")
+        if not isinstance(event.get("pid"), int) or not isinstance(event.get("tid"), int):
+            problems.append(f"event {i}: missing pid/tid")
+        if ph == "X":
+            ts, dur = event.get("ts"), event.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"event {i}: bad ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: bad dur {dur!r}")
+    return problems

@@ -165,6 +165,10 @@ class ChannelBase(abc.ABC):
         # occupancy checks run on every send, and counting entries by scan
         # was the single hottest line of the trial profile.
         self._occupancy: dict[str, int] = {}
+        # Per-tag occupancy high-water marks since construction (repro.obs).
+        # Maintained passively on admit: one dict probe per admitted
+        # message, harvested once per trial by Simulator.collect_obs.
+        self._occ_high: dict[str, int] = {}
 
     # -- capacity ---------------------------------------------------------
 
@@ -175,6 +179,10 @@ class ChannelBase(abc.ABC):
     def occupancy(self, tag: str) -> int:
         """Number of in-flight messages with the given tag."""
         return self._occupancy.get(tag, 0)
+
+    def occupancy_high_water(self) -> dict[str, int]:
+        """Per-tag peak occupancy observed over the channel's lifetime."""
+        return dict(self._occ_high)
 
     def is_full_for(self, tag: str) -> bool:
         cap = self.capacity_for(tag)
@@ -193,7 +201,10 @@ class ChannelBase(abc.ABC):
         cap = self.capacity_for(tag)
         if cap is not None and occ >= cap:
             return None
-        self._occupancy[tag] = occ + 1
+        occ += 1
+        self._occupancy[tag] = occ
+        if occ > self._occ_high.get(tag, 0):
+            self._occ_high[tag] = occ
         self._admit_seq += 1
         entry = _Entry(msg, now, None, self._admit_seq)
         self._entries.append(entry)

@@ -304,7 +304,10 @@ class Simulator:
         if self.trace_network:
             self.trace.emit(self.now, EventKind.SEND, src, dst=dst, tag=msg.tag)
         if self.corruption is not None:
+            original = msg
             msg = self.corruption.maybe_corrupt(rng, msg)
+            if msg is not original:
+                stats.corrupted += 1
         if not self._lossless and self.loss.should_drop(rng, msg):
             stats.dropped_loss += 1
             if self.trace_network:
@@ -596,3 +599,26 @@ class Simulator:
         return {
             (c.src, c.dst): c.contents() for c in self.network.channels()
         }
+
+    # -- observability -------------------------------------------------------------
+
+    def collect_obs(self, metrics) -> None:
+        """Fold this engine's passive counters into a metrics registry
+        (:mod:`repro.obs`).  Called at most once per trial, strictly after
+        the run — nothing here can perturb the deterministic draw paths.
+        ``metrics`` is duck-typed (``MetricsRegistry`` or ``NullMetrics``)
+        so the sim layer takes no dependency on the obs package.
+        """
+        scheduler = self.scheduler
+        metrics.inc("scheduler.pops", scheduler.pops)
+        metrics.inc("scheduler.compactions", scheduler.compactions)
+        stats = self.stats
+        metrics.inc("channel.sent", stats.sent)
+        metrics.inc("channel.delivered", stats.delivered)
+        metrics.inc("channel.dropped_loss", stats.dropped_loss)
+        metrics.inc("channel.dropped_full", stats.dropped_full)
+        metrics.inc("channel.corrupted", stats.corrupted)
+        metrics.inc("process.activations", stats.activations)
+        for channel in self.network.channels():
+            for tag, high in channel.occupancy_high_water().items():
+                metrics.gauge_max(f"channel.occupancy_high[{tag}]", high)

@@ -67,11 +67,18 @@ class EventHandle:
 class Scheduler:
     """A priority-queue driven event loop over integer ticks."""
 
-    __slots__ = ("_now", "_seq", "_queue", "_cancelled", "current_key")
+    __slots__ = ("_now", "_seq", "_queue", "_cancelled", "current_key",
+                 "pops", "compactions")
 
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
+        #: Passive observability counters (repro.obs): cumulative events
+        #: executed and heap compactions.  Updated per run_until batch /
+        #: per compaction, never per heap operation, so they cost nothing
+        #: measurable on the hot loop.
+        self.pops = 0
+        self.compactions = 0
         # Heap of (time, key, seq, item) where item is an EventHandle
         # (cancelable, from schedule_*) or a bare callback (fire-and-forget,
         # from post_*).  seq is unique, so comparisons never reach the item.
@@ -166,6 +173,7 @@ class Scheduler:
         ]
         heapq.heapify(self._queue)
         self._cancelled = 0
+        self.compactions += 1
 
     def run_next(self) -> bool:
         """Run the next pending event.
@@ -189,6 +197,7 @@ class Scheduler:
                 self.current_key = key
                 item()
             self.current_key = 0
+            self.pops += 1
             return True
         return False
 
@@ -235,6 +244,7 @@ class Scheduler:
             if halted:
                 break
         self.current_key = 0
+        self.pops += executed
         # Even if nothing (more) ran, time advances to the horizon so that
         # repeated run_until calls observe monotone time.
         if self._now < max_time and (not queue or queue[0][0] > max_time):

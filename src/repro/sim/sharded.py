@@ -48,6 +48,8 @@ from typing import Any, Callable, Sequence
 
 from repro.core.requests import CompletedRequest, RequestDriver
 from repro.errors import SimulationError
+from repro.obs.recorder import ObsRecorder
+from repro.obs.spans import wall
 from repro.sim.adversary import scramble_channels, scramble_processes
 from repro.sim.channel import BernoulliLoss, LossModel, NoLoss
 from repro.sim.partition import Partition, partition_topology
@@ -169,11 +171,19 @@ def shard_result_payload(
     shard_pids: Sequence[int],
     driver: "RequestDriver | None",
     tag: str | None,
+    obs: ObsRecorder | None = None,
 ) -> dict[str, Any]:
-    """The per-shard result record every multi-process engine ships back."""
+    """The per-shard result record every multi-process engine ships back.
+
+    When the worker carries an :class:`~repro.obs.recorder.ObsRecorder`,
+    the shard's metric snapshot and spans ride along in the same record —
+    over the sharded pipe or the cluster's pickled CONTROL frame alike.
+    """
     finals = {
         pid: sim.layer(pid, tag).request for pid in shard_pids
     } if tag else {}
+    if obs is not None:
+        obs.collect_sim(sim)
     return {
         "events": list(trace),
         "keys": list(trace.keys),
@@ -182,6 +192,7 @@ def shard_result_payload(
         "stats": sim.stats,
         "finals": finals,
         "completions": driver.completed() if driver else [],
+        "obs": obs.worker_payload() if obs is not None else None,
     }
 
 
@@ -192,10 +203,12 @@ def _worker_main(
     scramble_seed: int | None,
     fill_channels: bool,
     driver_cfg: dict[str, Any] | None,
+    obs_shard: int | None = None,
 ) -> None:
     """One shard worker: build, scramble, then advance window by window."""
     try:
-        _worker_loop(conn, make_sim, shard_pids, scramble_seed, fill_channels, driver_cfg)
+        _worker_loop(conn, make_sim, shard_pids, scramble_seed, fill_channels,
+                     driver_cfg, obs_shard)
     except Exception:  # noqa: BLE001 - forwarded to the driving process
         import traceback
 
@@ -212,6 +225,7 @@ def _worker_loop(
     scramble_seed: int | None,
     fill_channels: bool,
     driver_cfg: dict[str, Any] | None,
+    obs_shard: int | None = None,
 ) -> None:
     sim = make_sim(shard_pids)
     trace = _KeyedTrace(sim.scheduler)
@@ -222,6 +236,10 @@ def _worker_loop(
     driver: RequestDriver | None = None
     if driver_cfg is not None:
         driver = RequestDriver(sim, pids=shard_pids, **driver_cfg)
+    obs: ObsRecorder | None = None
+    if obs_shard is not None:
+        obs = ObsRecorder(pid=obs_shard + 1, name=f"shard{obs_shard}")
+    round_no = 0
     conn.send(("ready", sim.drain_outbox(), injected))
     while True:
         cmd = conn.recv()
@@ -231,7 +249,14 @@ def _worker_loop(
             t0 = time.perf_counter()
             for src, dst, msg, when, entry_seq in inbox:
                 sim.schedule_remote_arrival(src, dst, msg, when, entry_seq)
-            sim.scheduler.run_until(target)
+            if obs is not None:
+                w0 = wall()
+                sim.scheduler.run_until(target)
+                obs.record_round("compute", w0, wall(),
+                                 round=round_no, target=target)
+            else:
+                sim.scheduler.run_until(target)
+            round_no += 1
             compute_s = time.perf_counter() - t0
             done_at = driver.done_at if driver is not None else 0
             conn.send(("adv-ok", sim.drain_outbox(), done_at, compute_s))
@@ -240,7 +265,8 @@ def _worker_loop(
             conn.send((
                 "result",
                 shard_result_payload(
-                    sim, trace, proc_len, chan_len, shard_pids, driver, tag
+                    sim, trace, proc_len, chan_len, shard_pids, driver, tag,
+                    obs=obs,
                 ),
             ))
         elif op == "stop":
@@ -361,6 +387,7 @@ class ShardedSimulator:
         fill_channels: bool = True,
         driver: dict[str, Any] | None = None,
         drain: int = 200,
+        obs: ObsRecorder | None = None,
     ) -> ShardedRunResult:
         """Scramble, serve the request driver, drain — across all shards.
 
@@ -379,7 +406,7 @@ class ShardedSimulator:
         workers: list[multiprocessing.Process] = []
         conns = []
         try:
-            for shard_pids in self.partition.shards:
+            for shard_index, shard_pids in enumerate(self.partition.shards):
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
                     target=_worker_main,
@@ -390,6 +417,7 @@ class ShardedSimulator:
                         scramble_seed,
                         fill_channels,
                         driver,
+                        shard_index if obs is not None else None,
                     ),
                     daemon=True,
                 )
@@ -431,6 +459,7 @@ class ShardedSimulator:
                 cap = horizon if final_target is None else final_target
                 target = min(t + self.window, cap)
                 round_start = time.perf_counter()
+                round_wall = wall() if obs is not None else 0.0
                 for conn, inbox in zip(conns, inboxes):
                     conn.send(("adv", target, inbox))
                 inboxes = [[] for _ in conns]
@@ -445,9 +474,14 @@ class ShardedSimulator:
                 barriers += 1
                 # Overhead of this barrier: the round trip minus the
                 # critical-path (slowest) worker's simulation time.
-                sync_wall += max(
+                round_wait = max(
                     0.0, time.perf_counter() - round_start - slowest
                 )
+                sync_wall += round_wait
+                if obs is not None:
+                    obs.record_round("round", round_wall, wall(),
+                                     round=barriers - 1, target=target)
+                    obs.metrics.observe("sync.round_wait_s", round_wait)
                 t = target
                 if final_target is None:
                     if driver is not None and all(d is not None for d in done_ticks):
@@ -480,6 +514,13 @@ class ShardedSimulator:
             stats.merge(payload["stats"])
             finals.update(payload["finals"])
         completions = merge_completions(payloads)
+        if obs is not None:
+            for payload in payloads:
+                if payload.get("obs") is not None:
+                    obs.merge_worker(payload["obs"])
+            obs.metrics.inc("sync.barriers", barriers)
+            obs.metrics.gauge_max("sync.window", self.window)
+            obs.metrics.observe("sync.wall_s", sync_wall)
         assert final_target is not None
         return ShardedRunResult(
             trace=trace,

@@ -16,6 +16,7 @@ class SimStats:
     delivered: int = 0
     dropped_full: int = 0
     dropped_loss: int = 0
+    corrupted: int = 0
     activations: int = 0
     sent_by_tag: Counter = field(default_factory=Counter)
     delivered_by_tag: Counter = field(default_factory=Counter)
@@ -60,6 +61,7 @@ class SimStats:
             "delivered": self.delivered,
             "dropped_full": self.dropped_full,
             "dropped_loss": self.dropped_loss,
+            "corrupted": self.corrupted,
             "activations": self.activations,
             "delivery_ratio": round(self.delivery_ratio, 4),
         }

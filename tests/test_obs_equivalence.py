@@ -1,0 +1,104 @@
+"""Observation must never perturb a deterministic run.
+
+The repro.obs design keeps every wall-clock read and dict update outside
+the deterministic draw paths: engines keep passive counters, the
+registry harvests them once per trial, and spans only stamp wall time
+around existing phase boundaries.  The checkable consequence — the one
+docs/observability.md promises — is that a trial with ``--metrics`` and
+``--timeline`` enabled produces the *same canonical trace hash* as the
+bare trial, on every engine.
+
+One small PIF case (n=8, ring, loss=0.1) is enough to exercise all four
+engines' obs plumbing: serial phases, sharded fork-worker payloads over
+the pipe, async loopback handoff counters, and cluster worker payloads
+shipped in the RESULT control frame.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.runner import execute_trial
+from repro.core.pif import PifLayer
+from repro.obs import validate_chrome_trace
+from repro.sim.trace import canonical_trace_hash
+
+ENGINES = [
+    ("serial", {}),
+    ("sharded", {"shards": 2}),
+    ("async", {"transport": "loopback"}),
+    ("cluster", {"hosts": 2}),
+]
+
+
+def run_case(engine, extra, metrics=None, timeline=None):
+    driver = dict(tag="pif", requests_per_process=1,
+                  payload_fmt="m-{pid}-{k}")
+    return execute_trial(
+        8, lambda h: h.register(PifLayer("pif")),
+        topology="ring", seed=0, loss=0.1, driver=driver,
+        horizon=2_000_000, engine=engine, protocol={"kind": "pif"},
+        metrics=metrics, timeline=timeline, **extra,
+    )
+
+
+@pytest.mark.parametrize("engine,extra", ENGINES,
+                         ids=[engine for engine, _ in ENGINES])
+def test_metrics_and_timeline_do_not_change_the_hash(
+        engine, extra, tmp_path):
+    bare = run_case(engine, extra)
+    observed = run_case(
+        engine, extra,
+        metrics=str(tmp_path / "metrics.json"),
+        timeline=str(tmp_path / "timeline.json"),
+    )
+    assert canonical_trace_hash(bare.trace) == \
+        canonical_trace_hash(observed.trace)
+    assert bare.stats.as_dict() == observed.stats.as_dict()
+    assert bare.completions == observed.completions
+
+    doc = json.loads((tmp_path / "metrics.json").read_text(encoding="utf-8"))
+    assert doc["kind"] == "repro-obs-metrics"
+    # scheduler.pops only exists on the tick engines; channel.sent is
+    # the counter every engine's collect_obs records.
+    assert doc["counters"]["channel.sent"] > 0
+    assert validate_chrome_trace(
+        json.loads((tmp_path / "timeline.json").read_text(encoding="utf-8"))
+    ) == []
+
+
+def test_all_engines_agree_with_observation_on():
+    hashes = {
+        engine: canonical_trace_hash(run_case(engine, extra).trace)
+        for engine, extra in ENGINES
+    }
+    assert len(set(hashes.values())) == 1, hashes
+
+
+def test_cluster_timeline_covers_every_worker_lane(tmp_path):
+    timeline = tmp_path / "timeline.json"
+    run_case("cluster", {"hosts": 2},
+             metrics=str(tmp_path / "metrics.json"), timeline=str(timeline))
+    doc = json.loads(timeline.read_text(encoding="utf-8"))
+    assert validate_chrome_trace(doc) == []
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    # Lane 0 is the coordinator; worker shard k ships its spans over the
+    # RESULT control frame and lands on lane k+1.  Windowed mode always
+    # barriers, so both worker lanes must show barrier waits.
+    assert {e["pid"] for e in spans} == {0, 1, 2}
+    assert {e["pid"] for e in spans if e["name"] == "barrier_wait"} == {1, 2}
+    assert any(e["name"] == "rendezvous" for e in spans)
+    names = {e["pid"]: e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M"}
+    assert names[0] == "coordinator"
+    assert names[1] == "shard0" and names[2] == "shard1"
+
+    metrics = json.loads(
+        (tmp_path / "metrics.json").read_text(encoding="utf-8"))
+    assert metrics["counters"]["registry.round_trips"] >= 1
+    assert metrics["counters"]["sync.barriers"] > 0
+    assert any(name.startswith("wire.bytes_out[")
+               for name in metrics["counters"])
+    assert "sync.barrier_wait_s" in metrics["hists"]
