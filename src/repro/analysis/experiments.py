@@ -273,6 +273,7 @@ def run_topology_matrix(
     latency: tuple[int, int] = (1, 3),
     hosts: int | None = None,
     sync: str | None = None,
+    fault_plan: Any = None,
     metrics: str | None = None,
     timeline: str | None = None,
 ) -> list[dict[str, Any]]:
@@ -337,7 +338,8 @@ def run_topology_matrix(
                     requests_per_process=1, latency=latency,
                     engine=engine, shards=shards, window=window,
                     transport=transport, tick=tick,
-                    hosts=hosts, sync=sync, **extra, **obs_kwargs,
+                    hosts=hosts, sync=sync, fault_plan=fault_plan,
+                    **extra, **obs_kwargs,
                 )
                 ok += 1 if trial.ok else 0
                 violations += trial.violations

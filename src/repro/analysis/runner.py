@@ -146,6 +146,11 @@ class EngineRun:
     sync: str | None = None
     worker_wall_s: dict[int, float] | None = None
     registry_round_trips: int | None = None
+    #: Chaos provenance (repro.chaos): injected-fault / recovery counters
+    #: when a fault plan was active (None on fault-free runs).
+    fault_counts: dict[str, int] | None = None
+    recoveries: int | None = None
+    replayed_rounds: int | None = None
 
     def latencies(self) -> list[int]:
         return [c.latency for c in self.completions]
@@ -178,6 +183,11 @@ class EngineRun:
                 if walls else 0.0
             )
             record["registry_round_trips"] = self.registry_round_trips
+        if self.fault_counts is not None:
+            record["fault_counts"] = dict(sorted(self.fault_counts.items()))
+            if self.recoveries is not None:
+                record["recoveries"] = self.recoveries
+                record["replayed_rounds"] = self.replayed_rounds
         if self.monitor_reports:
             record["monitors_ok"] = self.monitors_ok
             record["monitors"] = [
@@ -251,6 +261,7 @@ def execute_trial(
     sync: str | None = None,
     cluster_listen: str | None = None,
     protocol: dict[str, Any] | None = None,
+    fault_plan: Any = None,
     metrics: str | None = None,
     timeline: str | None = None,
 ) -> EngineRun:
@@ -340,6 +351,11 @@ def execute_trial(
         raise SimulationError(
             f"tick={tick!r} requires transport='tcp' (the loopback transport "
             f"runs virtual time), got transport={transport!r}"
+        )
+    if fault_plan is not None and engine not in ("async", "cluster"):
+        raise SimulationError(
+            f"fault_plan requires engine='async' or 'cluster', got {engine!r} "
+            "(the serial and sharded engines have no injection boundary)"
         )
     obs: ObsRecorder | None = None
     if metrics is not None or timeline is not None:
@@ -448,6 +464,7 @@ def execute_trial(
             capacity=capacity,
             latency=latency,
             transport=transport,
+            fault_plan=fault_plan,
             **({} if tick is None else {"tick": tick}),
         )
         for monitor in default_monitors(tag, asim.topology):
@@ -481,6 +498,9 @@ def execute_trial(
             transport=transport,
             wall_clock_s=time.perf_counter() - start_clock,
             monitor_reports=result.monitor_reports,
+            fault_counts=(
+                dict(asim.fault_counts) if fault_plan is not None else None
+            ),
         )
     elif engine == "cluster":
         cluster = ClusterSimulator(
@@ -495,6 +515,7 @@ def execute_trial(
             capacity=capacity,
             latency=latency,
             listen=cluster_listen,
+            fault_plan=fault_plan,
         )
         result = cluster.run_trial(
             horizon=horizon,
@@ -531,6 +552,13 @@ def execute_trial(
             sync=result.sync,
             worker_wall_s=result.worker_wall_s,
             registry_round_trips=result.registry_round_trips,
+            fault_counts=(
+                dict(result.fault_counts) if fault_plan is not None else None
+            ),
+            recoveries=result.recoveries if fault_plan is not None else None,
+            replayed_rounds=(
+                result.replayed_rounds if fault_plan is not None else None
+            ),
         )
     if run is None:
         raise SimulationError(
@@ -577,6 +605,7 @@ def run_pif_trial(
     hosts: int | None = None,
     sync: str | None = None,
     cluster_listen: str | None = None,
+    fault_plan: Any = None,
     metrics: str | None = None,
     timeline: str | None = None,
 ) -> TrialResult:
@@ -606,6 +635,7 @@ def run_pif_trial(
         hosts=hosts,
         sync=sync,
         cluster_listen=cluster_listen,
+        fault_plan=fault_plan,
         protocol={"kind": "pif", "max_state": max_state},
         metrics=metrics,
         timeline=timeline,
@@ -660,6 +690,7 @@ def run_idl_trial(
     hosts: int | None = None,
     sync: str | None = None,
     cluster_listen: str | None = None,
+    fault_plan: Any = None,
     metrics: str | None = None,
     timeline: str | None = None,
 ) -> TrialResult:
@@ -687,6 +718,7 @@ def run_idl_trial(
         hosts=hosts,
         sync=sync,
         cluster_listen=cluster_listen,
+        fault_plan=fault_plan,
         protocol={"kind": "idl", "idents": idents},
         metrics=metrics,
         timeline=timeline,
@@ -742,6 +774,7 @@ def run_mutex_trial(
     hosts: int | None = None,
     sync: str | None = None,
     cluster_listen: str | None = None,
+    fault_plan: Any = None,
     metrics: str | None = None,
     timeline: str | None = None,
 ) -> TrialResult:
@@ -781,6 +814,7 @@ def run_mutex_trial(
         hosts=hosts,
         sync=sync,
         cluster_listen=cluster_listen,
+        fault_plan=fault_plan,
         protocol={"kind": "me", "cs_duration": cs_duration,
                   "use_paper_modulus": use_paper_modulus},
         metrics=metrics,

@@ -154,6 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
              "127.0.0.1; set to this machine's reachable address when "
              "launching on a remote host)",
     )
+    p.add_argument(
+        "--chaos", default=None, metavar="TOKEN",
+        help="fault-injection token from the coordinator's fault plan "
+             "('PHASE' or 'PHASE:ROUND', e.g. 'barrier:5'): crash this "
+             "worker at that point (internal; set by the chaos harness)",
+    )
 
     p = sub.add_parser(
         "obs",
@@ -274,6 +280,14 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
              "--window values (fewer barriers)",
     )
     parser.add_argument(
+        "--fault-plan", default=None, metavar="PLAN",
+        help="chaos fault schedule for --engine async/cluster (see "
+             "docs/robustness.md): semicolon/newline-separated statements "
+             "like 'crash worker 2 at barrier 5', 'cut link 1->3 for "
+             "rounds 4..8', 'drop ship from 1 to 3', 'stall registry 2s'; "
+             "@FILE reads the plan from FILE",
+    )
+    parser.add_argument(
         "--metrics", default=None, metavar="PATH",
         help="write a JSON metrics snapshot of the run (scheduler, channel, "
              "wire and sync counters; see docs/observability.md); with "
@@ -361,6 +375,25 @@ def _cmd_impossibility(args) -> str:
     )
 
 
+def _fault_plan_arg(args):
+    """Resolve --fault-plan: inline statements, or @FILE contents."""
+    text = getattr(args, "fault_plan", None)
+    if text is None:
+        return None
+    if text.startswith("@"):
+        from pathlib import Path
+
+        try:
+            text = Path(text[1:]).read_text()
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot read fault plan file {text[1:]!r}: {exc}"
+            ) from None
+    from repro.chaos import parse_fault_plan
+
+    return parse_fault_plan(text)
+
+
 def _cmd_trials(args, runner, title: str) -> str:
     kwargs = dict(
         loss=args.loss,
@@ -370,6 +403,7 @@ def _cmd_trials(args, runner, title: str) -> str:
         engine=args.engine, shards=args.shards, window=args.window,
         transport=args.transport, tick=args.tick,
         hosts=args.hosts, sync=args.sync, cluster_listen=args.cluster_listen,
+        fault_plan=_fault_plan_arg(args),
     )
     if args.horizon is not None:
         kwargs["horizon"] = args.horizon
@@ -405,6 +439,9 @@ def _cmd_trials(args, runner, title: str) -> str:
         prov += ["hosts", "sync", "window", "barriers", "sync_wall_s",
                  "worker_wall_spread_s", "registry_round_trips",
                  "monitors_ok"]
+    if getattr(args, "fault_plan", None) is not None:
+        prov += ["recoveries", "replayed_rounds"] \
+            if args.engine == "cluster" else []
     return render_table(
         keys + extra + prov,
         [t.row(*(keys + extra + prov)) for t in trials],
@@ -481,6 +518,7 @@ def _cmd_matrix(args) -> str:
         transport=args.transport, tick=args.tick, horizon=args.horizon,
         latency=tuple(args.latency),
         hosts=args.hosts, sync=args.sync,
+        fault_plan=_fault_plan_arg(args),
         metrics=args.metrics, timeline=args.timeline,
     )
     return render_table(
@@ -593,7 +631,8 @@ def _run_command(args) -> int:
         from repro.net.cluster import run_cluster_worker
 
         return run_cluster_worker(
-            args.registry, args.shard, args.advertise_host
+            args.registry, args.shard, args.advertise_host,
+            chaos=args.chaos,
         )
     if args.command == "figure1":
         output = _cmd_figure1(args)

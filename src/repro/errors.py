@@ -61,6 +61,46 @@ class HorizonExceeded(SimulationError):
         self.window = window
 
 
+class WorkerCrashed(SimulationError):
+    """A cluster worker interpreter died mid-trial.
+
+    Raised by the coordinator's crash *detection* path (Popen polling +
+    CONTROL-channel EOF, see :mod:`repro.net.cluster`) within a poll
+    interval of the death — never by timing out.  Carries the shard id,
+    the barrier round being advanced when the death was noticed, the
+    process exit code, and a tail of the worker's captured stderr so the
+    diagnosis lands in the exception message rather than a hung CI job.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int,
+        round: int | None = None,
+        phase: str | None = None,
+        exit_code: int | None = None,
+        stderr_tail: str | None = None,
+    ) -> None:
+        parts = [f"{message} (shard {shard}"]
+        if phase is not None:
+            parts.append(f", during {phase}")
+        if round is not None:
+            parts.append(f", round {round}")
+        if exit_code is not None:
+            parts.append(f", exit code {exit_code}")
+        parts.append(")")
+        text = "".join(parts)
+        if stderr_tail:
+            text += "\n--- worker stderr tail ---\n" + stderr_tail
+        super().__init__(text)
+        self.shard = shard
+        self.round = round
+        self.phase = phase
+        self.exit_code = exit_code
+        self.stderr_tail = stderr_tail
+
+
 class ProtocolError(ReproError):
     """A protocol layer was misused (bad wiring, bad request sequence)."""
 

@@ -21,12 +21,12 @@ Two synchronization modes:
 * ``sync="windowed"`` — the sharded engine's conservative time-window
   protocol over sockets.  The coordinator advances all workers in windows
   of at most :attr:`Partition.latency_floor` ticks; a worker finishes its
-  round, ships its outbox, then sends a ``BARRIER(round)`` frame on every
-  peer link.  Per-connection FIFO means a barrier certifies every SHIP of
-  that round was already delivered, and the window bound means every
-  shipped delivery time lies strictly beyond the next window — so a
-  worker that has seen round ``r-1`` barriers from all peers can advance
-  round ``r`` with its event heap complete.  The run is therefore
+  round, ships its outbox, then sends a ``BARRIER(round, ship_count)``
+  frame on every peer link.  Per-connection FIFO means a barrier certifies
+  every SHIP of that round was already delivered, and the window bound
+  means every shipped delivery time lies strictly beyond the next window —
+  so a worker that has seen round ``r-1`` barriers from all peers can
+  advance round ``r`` with its event heap complete.  The run is therefore
   **bit-identical to the serial engine** (same trace, same canonical
   hash), which the ``cluster-equivalence`` CI gate asserts.
 * ``sync="freerun"`` — best-effort: same frames, no barrier waits, and
@@ -35,6 +35,34 @@ Two synchronization modes:
   so the online spec monitors (:mod:`repro.net.monitors`), replayed over
   the merged trace, carry the verdict — in the spirit of automata-based
   distributed runtime checking.
+
+Fault injection and crash recovery (``docs/robustness.md``):
+
+* A :class:`~repro.chaos.FaultPlan` threads deterministic runtime faults
+  through the runtime: worker crashes (``os._exit`` at a named lifecycle
+  point, delivered via spawn argv so ``at rendezvous`` works), link cuts
+  (sender-side in-order withholding, healed on wall time — pure delay,
+  so virtual time is untouched), SHIP drop/duplicate/corrupt at the frame
+  boundary, and CONTROL-ack stalls.
+* The coordinator *detects* worker death by polling each spawned worker's
+  ``Popen`` alongside every control-channel await (and treating control
+  EOF the same way), raising :class:`~repro.errors.WorkerCrashed` with
+  the shard id, round, exit code and a stderr tail within
+  :data:`_CRASH_POLL_S` seconds of the death instead of waiting out the
+  worker timeout.
+* Under ``sync="windowed"`` with coordinator-spawned workers, a crash is
+  *survivable*: every worker keeps a per-peer, per-round log of its
+  outbound ships, so the coordinator can respawn the shard, collect the
+  survivors' logs, and have the replacement deterministically re-execute
+  rounds ``0..r`` from ``(seed, spec)`` plus the logged cross-shard
+  inputs.  Survivors dedup the replayed re-ships by ``(src, dst,
+  entry_seq)`` (channel admission seqs are monotone per channel, so the
+  key is unique); the finished trial's canonical trace hash still equals
+  the serial engine's.
+* Dropped/corrupted ships are healed without replay: the per-round ship
+  count in each BARRIER lets a receiver detect the gap, NAK it over
+  CONTROL, and have the sender re-ship that round from its log
+  (duplicates are absorbed by the same dedup set).
 
 Trace merging, completion bookkeeping and scramble segment handling are
 shared with the fork-based sharded engine
@@ -50,24 +78,29 @@ string (``payload_fmt="msg-{pid}-{k}"``) rather than a callable.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import os
 import subprocess
 import sys
+import tempfile
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from repro.chaos import FaultPlan
+from repro.chaos.backoff import Backoff, retry_async
 from repro.core.idl import IdlLayer
 from repro.core.mutex import MutexLayer
 from repro.core.pif import PifLayer
 from repro.core.requests import CompletedRequest, RequestDriver
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WorkerCrashed
 from repro.net import wire
 from repro.net.engine import AsyncSimulator
 from repro.net.registry import RegistryClient, RegistryServer
 from repro.obs.recorder import ObsRecorder
-from repro.obs.spans import wall
+from repro.obs.spans import SpanRecorder, wall
 from repro.sim.channel import LossModel
 from repro.sim.partition import Partition, partition_topology
 from repro.sim.runtime import BuildFn
@@ -101,6 +134,14 @@ SYNC_MODES = ("windowed", "freerun")
 #: round exists only to pace control traffic and completion checks).
 FREERUN_WINDOW = 64
 
+#: How often the coordinator polls worker Popen handles while awaiting a
+#: control frame — the crash-detection latency bound.
+_CRASH_POLL_S = 0.25
+
+#: Exit code of an injected ``crash worker`` fault (distinct from 1, the
+#: generic worker-error exit, so tests can tell them apart).
+_CHAOS_EXIT = 70
+
 
 def parse_hostport(spec: str) -> tuple[str, int]:
     """Parse ``host:port`` (the form every cluster CLI flag uses)."""
@@ -111,6 +152,17 @@ def parse_hostport(spec: str) -> tuple[str, int]:
         return host, int(port)
     except ValueError:
         raise SimulationError(f"bad port in {spec!r}") from None
+
+
+def _stderr_tail(path: str | None, limit: int = 4000) -> str:
+    """The last ``limit`` bytes of a worker's captured stderr."""
+    if path is None:
+        return ""
+    try:
+        data = Path(path).read_bytes()
+    except OSError:
+        return ""
+    return data[-limit:].decode("utf-8", "replace").strip()
 
 
 # -- picklable trial specs -------------------------------------------------
@@ -224,6 +276,14 @@ class ClusterRunResult:
     worker_wall_s: dict[int, float] = field(default_factory=dict)
     #: REGISTER/PEERS exchanges the rendezvous cost.
     registry_round_trips: int = 0
+    #: Injected-fault and recovery counters (coordinator + all workers):
+    #: ``fault.injected.*``, ``worker.crashed``, ``recovery.*``,
+    #: ``ship.*``, ``backoff.retries``.
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    #: Crash recoveries performed (worker respawn + replay).
+    recoveries: int = 0
+    #: Advance rounds deterministically re-executed by replacements.
+    replayed_rounds: int = 0
 
 
 class ClusterSimulator:
@@ -236,6 +296,10 @@ class ClusterSimulator:
     group).  With ``listen="host:port"`` the coordinator binds its registry
     there and waits for hand-launched ``repro cluster-worker`` processes
     instead of spawning localhost workers itself.
+
+    ``fault_plan`` (a :class:`~repro.chaos.FaultPlan` or its DSL text)
+    injects deterministic runtime faults; ``recover`` enables the
+    respawn-and-replay path for crash faults (``max_respawns`` bounds it).
     """
 
     def __init__(
@@ -255,6 +319,9 @@ class ClusterSimulator:
         activation_jitter: int = 1,
         listen: str | None = None,
         worker_timeout: float = 120.0,
+        fault_plan: FaultPlan | str | None = None,
+        recover: bool = True,
+        max_respawns: int = 2,
     ) -> None:
         if protocol is None:
             raise SimulationError(
@@ -320,6 +387,18 @@ class ClusterSimulator:
         self.seed = seed
         self.listen = listen
         self.worker_timeout = worker_timeout
+        if isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        if fault_plan is not None:
+            fault_plan.validate_for_cluster(
+                self.partition.n_shards,
+                self.topology.pids,
+                sync=sync,
+                spawned=listen is None,
+            )
+        self._plan = fault_plan
+        self.recover = recover
+        self.max_respawns = max_respawns
         self._sim_kwargs = dict(
             seed=seed,
             capacity=capacity,
@@ -356,7 +435,8 @@ class ClusterSimulator:
         overshoot the completion tick by up to one window).  With ``obs``,
         workers record their own metrics and spans and ship them back in
         the RESULT control frame, where they merge into the coordinator's
-        recorder — one timeline across every interpreter in the trial.
+        recorder — one timeline across every interpreter in the trial,
+        with fault injections and recoveries on a dedicated chaos lane.
         """
         if drain < self.window:
             raise SimulationError(
@@ -369,15 +449,10 @@ class ClusterSimulator:
             )
         )
 
-    def _spawn_workers(self, registry_address: str) -> list[subprocess.Popen]:
-        """Launch one localhost worker interpreter per shard.
-
-        Workers are fresh interpreters (``python -m repro cluster-worker``),
-        not forks — the same launch command works on a remote machine, which
-        is the point.  ``PYTHONPATH`` is threaded through explicitly: the
-        parent may be running from a source tree (pytest sets ``sys.path``,
-        not the environment).
-        """
+    def _worker_env(self) -> dict[str, str]:
+        """Spawn environment: ``PYTHONPATH`` is threaded through explicitly
+        — the parent may be running from a source tree (pytest sets
+        ``sys.path``, not the environment)."""
         import repro
 
         env = os.environ.copy()
@@ -386,24 +461,44 @@ class ClusterSimulator:
         env["PYTHONPATH"] = (
             src_root if not existing else src_root + os.pathsep + existing
         )
-        workers = []
-        for shard in range(self.n_shards):
-            workers.append(
-                subprocess.Popen(
-                    [
-                        sys.executable,
-                        "-m",
-                        "repro",
-                        "cluster-worker",
-                        "--registry",
-                        registry_address,
-                        "--shard",
-                        str(shard),
-                    ],
-                    env=env,
-                )
+        return env
+
+    def _spawn_worker(
+        self, registry_address: str, shard: int, *, chaos: bool = True
+    ) -> tuple[subprocess.Popen, str]:
+        """Launch one localhost worker interpreter for ``shard``.
+
+        Workers are fresh interpreters (``python -m repro cluster-worker``),
+        not forks — the same launch command works on a remote machine, which
+        is the point.  Crash faults ride the argv (``--chaos``): they must
+        exist before the control channel does.  stderr goes to a tempfile
+        so :class:`WorkerCrashed` can carry its tail.  ``chaos=False``
+        spawns a *replacement*, which must not re-inject its predecessor's
+        crash.
+        """
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "cluster-worker",
+            "--registry",
+            registry_address,
+            "--shard",
+            str(shard),
+        ]
+        token = self._plan.crash_token(shard) if (chaos and self._plan) else None
+        if token is not None:
+            argv += ["--chaos", token]
+        stderr_file = tempfile.NamedTemporaryFile(
+            prefix=f"repro-worker-{shard}-", suffix=".stderr", delete=False
+        )
+        try:
+            popen = subprocess.Popen(
+                argv, env=self._worker_env(), stderr=stderr_file
             )
-        return workers
+        finally:
+            stderr_file.close()
+        return popen, stderr_file.name
 
     async def _run(
         self,
@@ -414,18 +509,232 @@ class ClusterSimulator:
         drain: int,
         obs: ObsRecorder | None,
     ) -> ClusterRunResult:
+        plan = self._plan
         if self.listen is not None:
             reg_host, reg_port = parse_hostport(self.listen)
             registry = RegistryServer(self.n_shards, host=reg_host, port=reg_port)
         else:
             registry = RegistryServer(self.n_shards)
-        workers: list[subprocess.Popen] = []
+        procs: dict[int, subprocess.Popen] = {}
+        stderr_paths: dict[int, str] = {}
+        handles: dict[int, Any] = {}
+        coord_counts: dict[str, int] = {}
+        chaos_spans = (
+            SpanRecorder(pid=self.n_shards + 1) if obs is not None else None
+        )
+        recovering: set[int] = set()
+        respawns = 0
+        replayed_rounds_total = 0
+        injected_by_shard: dict[int, int] = {}
+        targets: list[int] = []
+        spec: dict[str, Any] = {}
+
+        def count(name: str, n: int = 1) -> None:
+            coord_counts[name] = coord_counts.get(name, 0) + n
+
+        def spawn(shard: int, *, chaos: bool = True) -> None:
+            popen, path = self._spawn_worker(registry.address, shard, chaos=chaos)
+            procs[shard] = popen
+            stderr_paths[shard] = path
+
+        def first_dead() -> int | None:
+            for shard in sorted(procs):
+                if procs[shard].poll() is not None:
+                    return shard
+            return None
+
+        def crash_error(
+            shard: int, phase: str, round_no: int | None = None
+        ) -> WorkerCrashed:
+            popen = procs.get(shard)
+            exit_code = popen.poll() if popen is not None else None
+            tail = _stderr_tail(stderr_paths.get(shard))
+            count("worker.crashed")
+            if plan is not None and plan.crash_token(shard) is not None:
+                count("fault.injected.crash")
+            return WorkerCrashed(
+                "cluster worker died",
+                shard=shard,
+                round=round_no,
+                phase=phase,
+                exit_code=exit_code,
+                stderr_tail=tail or None,
+            )
+
+        async def relay_nak(nak_from: int, peer: int, round_no: int) -> None:
+            """A receiver's ship-count mismatch: ask the sender to re-ship
+            the round from its log.  Suppressed while the sender is being
+            recovered — its replacement's live re-ships heal the gap."""
+            count("ship.nak_relayed")
+            if peer in recovering or peer not in handles:
+                return
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError, OSError):
+                await handles[peer].send(("resend", nak_from, round_no))
+
+        async def recv(
+            handle, expected: str, *, phase: str, round_no: int | None = None
+        ):
+            """Await one control frame, polling the worker's Popen so its
+            death surfaces as :class:`WorkerCrashed` within
+            :data:`_CRASH_POLL_S` instead of the worker timeout.  NAK
+            frames may arrive on any await; they are relayed inline."""
+            shard = handle.shard
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.worker_timeout
+            task = asyncio.ensure_future(handle.recv())
+            try:
+                while True:
+                    done, _ = await asyncio.wait({task}, timeout=_CRASH_POLL_S)
+                    if done:
+                        try:
+                            message = task.result()
+                        except (
+                            asyncio.IncompleteReadError,
+                            ConnectionResetError,
+                        ):
+                            raise crash_error(shard, phase, round_no) from None
+                        if message[0] == "nak":
+                            _, nak_from, peer, nak_round = message
+                            await relay_nak(nak_from, peer, nak_round)
+                            task = asyncio.ensure_future(handle.recv())
+                            continue
+                        if message[0] == "error":
+                            raise SimulationError(
+                                f"cluster worker shard {shard} failed:\n"
+                                f"{message[1]}"
+                            )
+                        if message[0] != expected:
+                            raise SimulationError(
+                                "cluster worker protocol error: expected "
+                                f"{expected!r}, got {message[0]!r}"
+                            )
+                        return message
+                    popen = procs.get(shard)
+                    if popen is not None and popen.poll() is not None:
+                        raise crash_error(shard, phase, round_no)
+                    if loop.time() > deadline:
+                        raise SimulationError(
+                            f"cluster worker shard {shard} sent no "
+                            f"{expected!r} within {self.worker_timeout:.0f}s"
+                        )
+            finally:
+                if not task.done():
+                    task.cancel()
+
+        async def guarded(awaitable, *, phase: str):
+            """Run a registry await with the same Popen crash polling."""
+            task = asyncio.ensure_future(awaitable)
+            try:
+                while True:
+                    done, _ = await asyncio.wait({task}, timeout=_CRASH_POLL_S)
+                    if done:
+                        return task.result()
+                    dead = first_dead()
+                    if dead is not None:
+                        raise crash_error(dead, phase)
+            finally:
+                if not task.done():
+                    task.cancel()
+
+        async def recover(crashed_shard: int, crash: WorkerCrashed) -> int | None:
+            """Respawn a crashed shard and replay it back to the barrier.
+
+            Collects the survivors' logged ships *for* the dead shard,
+            respawns it without its crash fault, rewires the survivors to
+            the replacement's fresh peer server, and sends a replay spec:
+            the replacement rebuilds its engine from (seed, spec), seeds
+            its dedup set and event heap with the logged inputs, and
+            re-executes the same advance targets the first incarnation
+            saw — deterministically, so its re-ships are byte-identical
+            and survivors absorb them as duplicates (except the crashed
+            round's, which are new).  Returns the replacement's driver
+            done-tick through the replayed rounds.
+            """
+            nonlocal respawns, replayed_rounds_total
+            recoverable = (
+                self.recover
+                and self.sync == "windowed"
+                and self.listen is None
+                and respawns < self.max_respawns
+                and not recovering
+            )
+            if not recoverable:
+                raise crash
+            recovering.add(crashed_shard)
+            t0 = wall() if chaos_spans is not None else 0.0
+            respawns += 1
+            old = handles.pop(crashed_shard, None)
+            if old is not None:
+                old.close()
+            dead_proc = procs.pop(crashed_shard, None)
+            if dead_proc is not None:
+                with contextlib.suppress(Exception):
+                    dead_proc.wait(timeout=5)
+            replay_ships: list[tuple[int, tuple]] = []
+            for shard in sorted(handles):
+                handle = handles[shard]
+                await handle.send(("ship-log", crashed_shard))
+                _, entries = await recv(handle, "ship-log", phase="recovery")
+                replay_ships.extend(entries)
+            registry.expect_rejoin(crashed_shard)
+            spawn(crashed_shard, chaos=False)
+            new_handle = await guarded(
+                registry.rejoin(self.worker_timeout), phase="respawn"
+            )
+            handles[crashed_shard] = new_handle
+            for shard in sorted(handles):
+                if shard == crashed_shard:
+                    continue
+                if crashed_shard not in self.partition.peer_shards(shard):
+                    # No topology edge between these shards (e.g. opposite
+                    # sides of a wan ring): the survivor never ships to the
+                    # replacement, and dialing it anyway would plant a
+                    # barrier-round entry the replacement waits on forever.
+                    continue
+                handle = handles[shard]
+                await handle.send(
+                    ("peer-update", crashed_shard, new_handle.host, new_handle.port)
+                )
+                await recv(handle, "peer-ok", phase="recovery")
+            await new_handle.send((
+                "spec",
+                {
+                    **spec,
+                    "faults": None,
+                    "replay": {"targets": list(targets), "ships": replay_ships},
+                },
+            ))
+            _, injected, done_tick = await recv(
+                new_handle, "ready", phase="recovery"
+            )
+            recovering.discard(crashed_shard)
+            replayed_rounds_total += len(targets)
+            count("recovery.respawns")
+            if targets:
+                count("recovery.replayed_rounds", len(targets))
+            injected_by_shard[crashed_shard] = injected
+            if chaos_spans is not None:
+                chaos_spans.record(
+                    "recovery", "chaos", t0, wall(),
+                    args={
+                        "shard": crashed_shard,
+                        "replayed_rounds": len(targets),
+                        "round": crash.round,
+                        "phase": crash.phase,
+                    },
+                )
+            return done_tick
+
         try:
             await registry.start()
             if self.listen is None:
-                workers = self._spawn_workers(registry.address)
+                for shard in range(self.n_shards):
+                    spawn(shard)
             rendezvous_wall = wall() if obs is not None else 0.0
-            handles = await registry.rendezvous(self.worker_timeout)
+            handle_list = await guarded(
+                registry.rendezvous(self.worker_timeout), phase="rendezvous"
+            )
+            handles = {handle.shard: handle for handle in handle_list}
             if obs is not None:
                 obs.spans.record(
                     "rendezvous", "phase", rendezvous_wall, wall(),
@@ -446,62 +755,82 @@ class ClusterSimulator:
                 "obs": obs is not None,
                 **self._sim_kwargs,
             }
-            for handle in handles:
-                await handle.send(("spec", spec))
+            shard_of = self.partition.shard_of
+            for shard in sorted(handles):
+                worker_faults = (
+                    plan.worker_slice(shard, shard_of) if plan is not None else None
+                )
+                await handles[shard].send(
+                    ("spec", {**spec, "faults": worker_faults})
+                )
 
-            async def recv(handle, expected: str):
+            crash: WorkerCrashed | None = None
+            for shard in sorted(handles):
                 try:
-                    message = await asyncio.wait_for(
-                        handle.recv(), timeout=self.worker_timeout
+                    message = await recv(
+                        handles[shard], "ready", phase="startup"
                     )
-                except asyncio.TimeoutError:
-                    raise SimulationError(
-                        f"cluster worker shard {handle.shard} sent no "
-                        f"{expected!r} within {self.worker_timeout:.0f}s"
-                    ) from None
-                except (asyncio.IncompleteReadError, ConnectionResetError):
-                    raise SimulationError(
-                        f"cluster worker shard {handle.shard} dropped its "
-                        "control connection"
-                    ) from None
-                if message[0] == "error":
-                    raise SimulationError(
-                        f"cluster worker shard {handle.shard} failed:\n{message[1]}"
-                    )
-                if message[0] != expected:
-                    raise SimulationError(
-                        f"cluster worker protocol error: expected {expected!r}, "
-                        f"got {message[0]!r}"
-                    )
-                return message
-
-            injected = 0
-            for handle in handles:
-                _, worker_injected = await recv(handle, "ready")
-                injected += worker_injected
+                except WorkerCrashed as exc:
+                    if crash is not None:
+                        raise
+                    crash = exc
+                    continue
+                injected_by_shard[shard] = message[1]
+            if crash is not None:
+                await recover(crash.shard, crash)
+            injected = sum(injected_by_shard.values())
 
             completed = False
             done_at: int | None = None
             final_target: int | None = None
             barriers = 0
             sync_wall = 0.0
-            worker_wall: dict[int, float] = {h.shard: 0.0 for h in handles}
+            worker_wall: dict[int, float] = {shard: 0.0 for shard in handles}
             t = -1
             while final_target is None or t < final_target:
                 cap = horizon if final_target is None else final_target
                 target = min(t + self.window, cap)
+                targets.append(target)
+                round_no = len(targets)
                 round_wall = wall() if obs is not None else 0.0
                 round_start = time.perf_counter()
-                for handle in handles:
-                    await handle.send(("adv", target))
-                done_ticks = []
+                send_dead: list[int] = []
+                for shard in sorted(handles):
+                    try:
+                        await handles[shard].send(("adv", target))
+                    except (ConnectionResetError, BrokenPipeError, OSError):
+                        send_dead.append(shard)
+                done_ticks: dict[int, int | None] = {}
                 slowest = 0.0
-                for handle in handles:
-                    _, worker_done, compute_s = await recv(handle, "adv-ok")
-                    done_ticks.append(worker_done)
-                    worker_wall[handle.shard] += compute_s
+                crash = None
+                for shard in sorted(handles):
+                    if shard in send_dead:
+                        continue
+                    try:
+                        _, worker_done, compute_s = await recv(
+                            handles[shard], "adv-ok",
+                            phase="barrier", round_no=round_no,
+                        )
+                    except WorkerCrashed as exc:
+                        if crash is not None:
+                            raise
+                        crash = exc
+                        continue
+                    done_ticks[shard] = worker_done
+                    worker_wall[shard] = worker_wall.get(shard, 0.0) + compute_s
                     if compute_s > slowest:
                         slowest = compute_s
+                for shard in send_dead:
+                    exc = crash_error(shard, "barrier", round_no)
+                    if crash is not None:
+                        raise exc
+                    crash = exc
+                if crash is not None:
+                    # Every survivor has acked this round (the dead shard
+                    # acked all earlier rounds, and acks follow ship
+                    # drains, so survivors held every barrier they
+                    # needed).  Safe point: recover now.
+                    done_ticks[crash.shard] = await recover(crash.shard, crash)
                 barriers += 1
                 round_wait = max(
                     0.0, time.perf_counter() - round_start - slowest
@@ -515,38 +844,47 @@ class ClusterSimulator:
                     obs.metrics.observe("sync.round_wait_s", round_wait)
                 t = target
                 if final_target is None:
-                    if driver_cfg is not None and all(
-                        d is not None for d in done_ticks
+                    if driver_cfg is not None and len(
+                        done_ticks
+                    ) == self.n_shards and all(
+                        d is not None for d in done_ticks.values()
                     ):
-                        done_at = max(done_ticks, default=0)
+                        done_at = max(done_ticks.values(), default=0)
                         completed = True
                         final_target = done_at + drain
                     elif t >= horizon:
                         final_target = horizon + drain
 
             payloads = []
-            for handle in handles:
+            for shard in sorted(handles):
+                handle = handles[shard]
                 await handle.send(("result",))
-                _, payload = await recv(handle, "result")
+                _, payload = await recv(handle, "result", phase="result")
                 payloads.append(payload)
-            for handle in handles:
-                await handle.send(("stop",))
-            for worker in workers:
+            for handle in handles.values():
+                with contextlib.suppress(
+                    ConnectionResetError, BrokenPipeError, OSError
+                ):
+                    await handle.send(("stop",))
+            for proc in procs.values():
                 try:
-                    worker.wait(timeout=30)
+                    proc.wait(timeout=30)
                 except subprocess.TimeoutExpired:
-                    worker.terminate()
+                    proc.terminate()
         finally:
             await registry.close()
-            for worker in workers:
-                if worker.poll() is None:
-                    worker.terminate()
-            for worker in workers:
-                if worker.poll() is None:
+            for proc in procs.values():
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs.values():
+                if proc.poll() is None:
                     try:
-                        worker.wait(timeout=5)
+                        proc.wait(timeout=5)
                     except subprocess.TimeoutExpired:
-                        worker.kill()
+                        proc.kill()
+            for path in stderr_paths.values():
+                with contextlib.suppress(OSError):
+                    os.unlink(path)
 
         trace = merge_worker_traces(
             payloads, scramble_seed is not None, fill_channels, injected
@@ -556,6 +894,10 @@ class ClusterSimulator:
         for payload in payloads:
             stats.merge(payload["stats"])
             finals.update(payload["finals"])
+        fault_counts = dict(coord_counts)
+        for payload in payloads:
+            for name, n in (payload.get("fault_counts") or {}).items():
+                fault_counts[name] = fault_counts.get(name, 0) + n
         if obs is not None:
             for payload in payloads:
                 if payload.get("obs") is not None:
@@ -564,6 +906,13 @@ class ClusterSimulator:
             obs.metrics.gauge_max("sync.window", self.window)
             obs.metrics.observe("sync.wall_s", sync_wall)
             obs.metrics.inc("registry.round_trips", registry.round_trips)
+            for name, n in coord_counts.items():
+                obs.metrics.inc(name, n)
+            if chaos_spans is not None:
+                chaos_payload = chaos_spans.payload()
+                if chaos_payload:
+                    obs.spans.extend(chaos_payload)
+                    obs.process_names[self.n_shards + 1] = "chaos"
         assert final_target is not None
         return ClusterRunResult(
             trace=trace,
@@ -580,6 +929,9 @@ class ClusterSimulator:
             sync_wall_s=sync_wall,
             worker_wall_s=worker_wall,
             registry_round_trips=registry.round_trips,
+            fault_counts=fault_counts,
+            recoveries=respawns,
+            replayed_rounds=replayed_rounds_total,
         )
 
 
@@ -587,10 +939,28 @@ class ClusterSimulator:
 
 
 class _ClusterWorker:
-    """One shard's interpreter: an AsyncSimulator slice behind the fabric."""
+    """One shard's interpreter: an AsyncSimulator slice behind the fabric.
+
+    Fault machinery riding the fabric:
+
+    * Every outbound ship is logged per (peer shard, round) before any
+      fault or link state can eat it — the log feeds NAK resends and
+      crash-recovery replay.
+    * BARRIER frames carry the round's ship count; receivers tally unique
+      decodable ships per (peer, round) and NAK a shortfall over CONTROL.
+    * ``cut link`` buffers a link's frames in order (ships *and*
+      barriers) and flushes them after a wall-clock hold — pure delay.
+    * ``--chaos`` argv names a crash point; the worker ``os._exit``\\ s
+      there after one stderr line (the coordinator's diagnosis).
+    """
 
     def __init__(
-        self, shard: int, registry_host: str, registry_port: int, advertise_host: str
+        self,
+        shard: int,
+        registry_host: str,
+        registry_port: int,
+        advertise_host: str,
+        chaos: str | None = None,
     ) -> None:
         self.shard = shard
         self.client = RegistryClient(registry_host, registry_port)
@@ -612,6 +982,48 @@ class _ClusterWorker:
         #: loop).  TCP buffers the frames until the trial state exists.
         self._frames_ready = asyncio.Event()
         self._errors: list[BaseException] = []
+        # Crash fault ("phase" or "phase:round", from --chaos argv).
+        phase, _, round_s = (chaos or "").partition(":")
+        self._crash_phase = phase or None
+        self._crash_round = int(round_s) if round_s else 0
+        #: Outbound ship log: peer shard -> round -> ships in send order.
+        self._ship_log: dict[int, dict[int, list[tuple]]] = {}
+        self._last_ship_round = -1
+        #: Ships already delivered locally, by (src, dst, entry_seq) —
+        #: entry seqs are monotone per channel, so the key is unique and
+        #: replayed/duplicated frames are absorbed exactly once.
+        self._seen: set[tuple[int, int, int]] = set()
+        #: Unique decodable ships received per (peer shard, round).
+        self._recv_counts: dict[tuple[int, int], int] = {}
+        #: Counted barriers whose ships have not all arrived yet.
+        self._pending_barriers: dict[int, deque] = {}
+        self._nakked: set[tuple[int, int]] = set()
+        #: Peers whose link is down (dead worker); recovery rewires them.
+        self._broken_links: set[int] = set()
+        #: peer shard -> (start round, hold seconds) for planned cuts.
+        self._cut_plan: dict[int, tuple[int, float]] = {}
+        #: Active cut buffers (frames withheld, in order).
+        self._cut_buffers: dict[int, list[bytes]] = {}
+        self._cut_tasks: list[asyncio.Task] = []
+        self._ship_faults: list[dict[str, Any]] = []
+        self._stalls: dict[int, float] = {}
+        self._fault_counts: dict[str, int] = {}
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self._fault_counts[name] = self._fault_counts.get(name, 0) + n
+
+    def _maybe_crash(self, phase: str, round_no: int = 0) -> None:
+        if self._crash_phase != phase:
+            return
+        if phase in ("barrier", "round") and round_no != self._crash_round:
+            return
+        at = f"{phase} {round_no}" if round_no else phase
+        print(
+            f"chaos: injected crash at {at} (shard {self.shard})",
+            file=sys.stderr,
+            flush=True,
+        )
+        os._exit(_CHAOS_EXIT)
 
     async def run(self) -> None:
         # The peer server opens before registration: the PEERS broadcast
@@ -624,6 +1036,7 @@ class _ClusterWorker:
         )
         port = self._peer_server.sockets[0].getsockname()[1]
         try:
+            self._maybe_crash("rendezvous")
             peers = await self.client.register(
                 self.shard, self.advertise_host, port, timeout=self.timeout
             )
@@ -638,14 +1051,58 @@ class _ClusterWorker:
 
     # -- fabric ----------------------------------------------------------
 
+    async def _dial_peer(
+        self, peer: int, host: str, port: int, *, timeout: float
+    ) -> None:
+        async def dial() -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+            return await asyncio.open_connection(host, port)
+
+        _reader, writer = await retry_async(
+            dial,
+            backoff=Backoff(initial=0.05, cap=0.5),
+            timeout=timeout,
+            describe=f"peer dial shard {self.shard}->{peer}",
+            on_retry=lambda _delay: self._count("backoff.retries"),
+        )
+        writer.write(wire.encode_hello(self.shard))
+        await writer.drain()
+        self._peer_writers[peer] = writer
+
     async def _connect_peers(self, peers: dict[int, tuple[str, int]]) -> None:
         for peer in self.peers:
-            self._barrier_round[peer] = -1
+            self._barrier_round.setdefault(peer, -1)
             host, port = peers[peer]
-            _reader, writer = await asyncio.open_connection(host, port)
-            writer.write(wire.encode_hello(self.shard))
-            await writer.drain()
-            self._peer_writers[peer] = writer
+            try:
+                await self._dial_peer(peer, host, port, timeout=2.0)
+            except (SimulationError, OSError):
+                # The peer died between registering and opening for
+                # business (a peering-phase crash).  Mark the link broken
+                # and carry on: crash recovery rewires it via peer-update
+                # once the replacement is up, and the trial cannot pass
+                # its ready phase until the coordinator has dealt with
+                # the death anyway.
+                self._broken_links.add(peer)
+
+    async def _rewire_peer(self, peer: int, host: str, port: int) -> None:
+        """Point this worker's outbound link at a respawned peer.
+
+        The re-announcement barrier (:data:`wire.BARRIER_SKIP_COUNT`)
+        tells the replacement which rounds this shard already finished,
+        so its replay never waits on barriers that predate it.
+        """
+        old = self._peer_writers.pop(peer, None)
+        if old is not None:
+            old.close()
+        self._broken_links.discard(peer)
+        self._cut_buffers.pop(peer, None)
+        await self._dial_peer(peer, host, port, timeout=self.timeout)
+        writer = self._peer_writers[peer]
+        writer.write(
+            wire.encode_barrier(
+                self.shard, self._last_ship_round, wire.BARRIER_SKIP_COUNT
+            )
+        )
+        await writer.drain()
 
     async def _accept_peer(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -662,16 +1119,35 @@ class _ClusterWorker:
             while True:
                 kind, payload = await wire.read_frame(reader)
                 if kind == wire.SHIP:
-                    self._on_ship(*wire.decode_ship(payload))
+                    try:
+                        src, dst, msg, when, entry_seq, round_no = (
+                            wire.decode_ship(payload)
+                        )
+                    except wire.WireError:
+                        # An injected corruption keeps the framing intact
+                        # but kills the pickle.  Count it and move on:
+                        # the round's barrier count will come up short
+                        # and the NAK path re-ships the message.
+                        self._count("ship.corrupt_received")
+                        continue
+                    key = (src, dst, entry_seq)
+                    if key in self._seen:
+                        self._count("ship.duplicate_dropped")
+                        continue
+                    self._seen.add(key)
+                    self._recv_counts[(src_shard, round_no)] = (
+                        self._recv_counts.get((src_shard, round_no), 0) + 1
+                    )
+                    self._on_ship(src, dst, msg, when, entry_seq)
+                    self._drain_barriers(src_shard)
                 elif kind == wire.BARRIER:
-                    shard, round_no = wire.decode_barrier(payload)
+                    shard, round_no, ships = wire.decode_barrier(payload)
                     if shard != src_shard:
                         raise wire.WireError(
                             f"barrier names shard {shard} on shard "
                             f"{src_shard}'s link"
                         )
-                    self._barrier_round[shard] = round_no
-                    self._barrier_event.set()
+                    self._on_barrier(shard, round_no, ships)
                 else:
                     raise wire.WireError(
                         f"unexpected frame kind 0x{kind:02x} on a peer link"
@@ -681,12 +1157,56 @@ class _ClusterWorker:
             ConnectionResetError,
             asyncio.CancelledError,
         ):
-            return  # peer closed or trial teardown
+            return  # peer closed (or died — recovery rewires), or teardown
         except Exception as exc:  # noqa: BLE001 - surfaced at the next barrier
             self._errors.append(exc)
             self._barrier_event.set()
         finally:
             writer.close()
+
+    def _on_barrier(self, peer: int, round_no: int, ships: int) -> None:
+        if ships == wire.BARRIER_SKIP_COUNT:
+            # Link re-announcement after a crash rewire: trust the round
+            # outright and drop any per-round accounting it obsoletes.
+            self._pending_barriers.pop(peer, None)
+            for key in [
+                k for k in self._recv_counts
+                if k[0] == peer and k[1] <= round_no
+            ]:
+                del self._recv_counts[key]
+            if round_no > self._barrier_round.get(peer, -1):
+                self._barrier_round[peer] = round_no
+            self._barrier_event.set()
+            return
+        if round_no <= self._barrier_round.get(peer, -1):
+            # Stale: a replacement re-announcing rounds it replayed (its
+            # re-ships were deduped, so the count would never be met).
+            self._recv_counts.pop((peer, round_no), None)
+            return
+        self._pending_barriers.setdefault(peer, deque()).append(
+            (round_no, ships)
+        )
+        self._drain_barriers(peer)
+
+    def _drain_barriers(self, peer: int) -> None:
+        """Accept pending counted barriers whose ships have all arrived;
+        NAK (once) the first that has not."""
+        pending = self._pending_barriers.get(peer)
+        while pending:
+            round_no, ships = pending[0]
+            if self._recv_counts.get((peer, round_no), 0) < ships:
+                if (peer, round_no) not in self._nakked:
+                    self._nakked.add((peer, round_no))
+                    self._count("ship.nak_sent")
+                    asyncio.ensure_future(
+                        self.client.send(("nak", self.shard, peer, round_no))
+                    )
+                return
+            pending.popleft()
+            self._recv_counts.pop((peer, round_no), None)
+            if round_no > self._barrier_round.get(peer, -1):
+                self._barrier_round[peer] = round_no
+            self._barrier_event.set()
 
     def _on_ship(
         self, src: int, dst: int, msg: Any, when: int, entry_seq: int
@@ -704,19 +1224,133 @@ class _ClusterWorker:
         # as a causality assertion.
         engine.schedule_remote_arrival(src, dst, msg, when, entry_seq)
 
+    # -- outbound faults --------------------------------------------------
+
+    def _frames_for_ship(self, ship: tuple, round_no: int) -> list[bytes]:
+        """Encode one ship, applying the first matching budgeted fault."""
+        src, dst, msg, when, entry_seq = ship
+        frame = wire.encode_ship(src, dst, msg, when, entry_seq, round_no)
+        for fault in self._ship_faults:
+            if fault["left"] <= 0:
+                continue
+            if fault["src"] is not None and src != fault["src"]:
+                continue
+            if fault["dst"] is not None and dst != fault["dst"]:
+                continue
+            rounds = fault["rounds"]
+            if rounds is not None and not rounds[0] <= round_no <= rounds[1]:
+                continue
+            fault["left"] -= 1
+            action = fault["action"]
+            self._count(f"fault.injected.{action}")
+            if action == "drop":
+                return []
+            if action == "duplicate":
+                return [frame, frame]
+            return [wire.truncate_frame(frame)]
+        return [frame]
+
+    def _outbound_sink(self, peer: int, round_no: int) -> list[bytes] | None:
+        """The link's cut buffer, activating a planned cut on first use."""
+        plan = self._cut_plan.get(peer)
+        if plan is not None and round_no >= plan[0]:
+            del self._cut_plan[peer]
+            buffer: list[bytes] = []
+            self._cut_buffers[peer] = buffer
+            self._count("fault.injected.cut")
+            self._cut_tasks.append(
+                asyncio.ensure_future(self._heal_cut(peer, plan[1]))
+            )
+            return buffer
+        return self._cut_buffers.get(peer)
+
+    async def _heal_cut(self, peer: int, seconds: float) -> None:
+        await asyncio.sleep(seconds)
+        # Pop before the first await below so concurrent writes go direct.
+        buffer = self._cut_buffers.pop(peer, None)
+        if not buffer or peer in self._broken_links:
+            return
+        writer = self._peer_writers.get(peer)
+        if writer is None:
+            return
+        try:
+            for frame in buffer:
+                writer.write(frame)
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            self._broken_links.add(peer)
+
+    def _write_frames(
+        self, peer: int, frames: list[bytes], round_no: int
+    ) -> None:
+        if not frames or peer in self._broken_links:
+            return
+        sink = self._outbound_sink(peer, round_no)
+        if sink is not None:
+            sink.extend(frames)
+            return
+        writer = self._peer_writers.get(peer)
+        if writer is None:
+            self._broken_links.add(peer)
+            return
+        try:
+            for frame in frames:
+                writer.write(frame)
+        except (ConnectionResetError, OSError):
+            self._broken_links.add(peer)
+
+    async def _drain_peers(self) -> None:
+        for peer, writer in list(self._peer_writers.items()):
+            if peer in self._broken_links:
+                continue
+            try:
+                await writer.drain()
+            except (ConnectionResetError, OSError):
+                self._broken_links.add(peer)
+
     async def _ship_round(self, round_no: int) -> None:
-        """Ship the round's outbox, then barrier every peer link."""
+        """Ship the round's outbox, then a counted barrier per peer link.
+
+        Every ship is logged *before* faults or link state apply — the
+        log is the ground truth NAK resends and crash replay draw from,
+        and the barrier count states what the log holds, not what the
+        wire saw.
+        """
         engine = self.engine
         assert engine is not None
         shard_of = self.partition.shard_of
-        for src, dst, msg, when, entry_seq in engine.drain_outbox():
-            writer = self._peer_writers[shard_of[dst]]
-            writer.write(wire.encode_ship(src, dst, msg, when, entry_seq))
-        barrier = wire.encode_barrier(self.shard, round_no)
-        for writer in self._peer_writers.values():
-            writer.write(barrier)
-        for writer in self._peer_writers.values():
-            await writer.drain()
+        counts: dict[int, int] = {}
+        for ship in engine.drain_outbox():
+            peer = shard_of[ship[1]]
+            self._ship_log.setdefault(peer, {}).setdefault(
+                round_no, []
+            ).append(ship)
+            counts[peer] = counts.get(peer, 0) + 1
+            self._write_frames(
+                peer, self._frames_for_ship(ship, round_no), round_no
+            )
+        for peer in self.peers:
+            self._write_frames(
+                peer,
+                [wire.encode_barrier(self.shard, round_no, counts.get(peer, 0))],
+                round_no,
+            )
+        self._last_ship_round = round_no
+        await self._drain_peers()
+
+    async def _resend_round(self, dst_shard: int, round_no: int) -> None:
+        """Re-ship a logged round verbatim (NAK response).  No faults
+        apply — their budgets were spent on the first pass — and the
+        receiver's dedup absorbs whatever did arrive the first time."""
+        entries = self._ship_log.get(dst_shard, {}).get(round_no, [])
+        frames = [
+            wire.encode_ship(src, dst, msg, when, entry_seq, round_no)
+            for src, dst, msg, when, entry_seq in entries
+        ]
+        if frames:
+            self._count("ship.resent", len(frames))
+        self._write_frames(dst_shard, frames, round_no)
+        await self._drain_peers()
 
     async def _await_barriers(self, round_no: int) -> None:
         """Block until every in-peer has announced ``round_no``."""
@@ -745,11 +1379,31 @@ class _ClusterWorker:
 
     # -- the trial -------------------------------------------------------
 
+    def _load_faults(self, faults: dict[str, Any] | None) -> None:
+        if not faults:
+            return
+        for dst, start, seconds in faults.get("cuts", ()):
+            self._cut_plan[dst] = (start, seconds)
+        for action, src, dst, rounds, count in faults.get("ships", ()):
+            self._ship_faults.append(
+                {
+                    "action": action,
+                    "src": src,
+                    "dst": dst,
+                    "rounds": rounds,
+                    "left": count,
+                }
+            )
+        for round_no, seconds in faults.get("stalls", ()):
+            self._stalls[round_no] = self._stalls.get(round_no, 0.0) + seconds
+
     async def _trial(
         self, spec: dict[str, Any], peers: dict[int, tuple[str, int]]
     ) -> None:
         self.sync = spec["sync"]
         self.timeout = spec.get("timeout", self.timeout)
+        self._load_faults(spec.get("faults"))
+        replay = spec.get("replay")
         shards = spec["shards"]
         shard_pids = shards[self.shard]
         self.partition = Partition(topology=spec["topology"], shards=shards)
@@ -769,6 +1423,7 @@ class _ClusterWorker:
         trace = _KeyedTrace(engine.scheduler)
         engine.trace = trace
         self.engine = engine
+        self._maybe_crash("peering")
         await self._connect_peers(peers)
         self._frames_ready.set()
         engine.start_actors()
@@ -784,13 +1439,43 @@ class _ClusterWorker:
                 if fmt is not None:
                     cfg["payload"] = payload_from_fmt(fmt)
                 driver = RequestDriver(engine, pids=shard_pids, **cfg)
-            # Round 0: the scramble's cross-shard injections ship before
-            # the coordinator ever advances anyone — by the time a peer
-            # passes its round-0 barrier wait, these are in its heap.
-            await self._ship_round(0)
-            await self.client.send(("ready", injected))
             clock = engine.scheduler
             round_no = 0
+            if replay is not None:
+                # Crash-recovery replay: the first incarnation's
+                # cross-shard inputs arrive via the spec (the survivors'
+                # ship logs), not the wire — its own dead sockets took
+                # the live copies with it.  Seed the dedup set so any
+                # frames that *do* straggle in are dropped, inject the
+                # logged ships, then re-execute the same advance targets.
+                # Determinism (per-entity RNG streams, canonical
+                # scheduler keys, sender-computed delivery times) makes
+                # the re-execution — including its outbound ships —
+                # byte-identical to the lost one.
+                for _rnd, ship in replay["ships"]:
+                    src, dst, msg, when, entry_seq = ship
+                    key = (src, dst, entry_seq)
+                    if key in self._seen:
+                        continue
+                    self._seen.add(key)
+                    engine.schedule_remote_arrival(src, dst, msg, when, entry_seq)
+                await self._ship_round(0)
+                for target in replay["targets"]:
+                    round_no += 1
+                    if self.sync == "windowed":
+                        await self._await_barriers(round_no - 1)
+                    await clock.drive(target, engine._route)
+                    engine._raise_net_errors()
+                    await self._ship_round(round_no)
+                done_at = driver.done_at if driver is not None else 0
+                await self.client.send(("ready", injected, done_at))
+            else:
+                # Round 0: the scramble's cross-shard injections ship
+                # before the coordinator ever advances anyone — by the
+                # time a peer passes its round-0 barrier wait, these are
+                # in its heap.
+                await self._ship_round(0)
+                await self.client.send(("ready", injected))
             obs: ObsRecorder | None = None
             if spec.get("obs"):
                 # Coordinator lane is pid 0; worker lanes follow shard order.
@@ -805,6 +1490,7 @@ class _ClusterWorker:
                 if op == "adv":
                     _, target = message
                     round_no += 1
+                    self._maybe_crash("barrier", round_no)
                     if self.sync == "windowed":
                         if obs is not None:
                             w0 = wall()
@@ -833,22 +1519,47 @@ class _ClusterWorker:
                         raise SimulationError(
                             f"peer link failed: {self._errors[0]}"
                         ) from self._errors[0]
+                    self._maybe_crash("round", round_no)
                     await self._ship_round(round_no)
+                    stall = self._stalls.pop(round_no, None)
+                    if stall:
+                        self._count("fault.injected.stall")
+                        await asyncio.sleep(stall)
                     done_at = driver.done_at if driver is not None else 0
                     await self.client.send(("adv-ok", done_at, compute_s))
+                elif op == "resend":
+                    _, nak_from, nak_round = message
+                    await self._resend_round(nak_from, nak_round)
+                elif op == "peer-update":
+                    _, peer, host, port = message
+                    await self._rewire_peer(peer, host, port)
+                    await self.client.send(("peer-ok",))
+                elif op == "ship-log":
+                    _, target_shard = message
+                    log = self._ship_log.get(target_shard, {})
+                    entries = [
+                        (rnd, ship)
+                        for rnd in sorted(log)
+                        for ship in log[rnd]
+                    ]
+                    await self.client.send(("ship-log", entries))
                 elif op == "result":
-                    tag = driver_cfg["tag"] if driver_cfg else None
+                    if self.client.dial_retries:
+                        self._count("backoff.retries", self.client.dial_retries)
                     if obs is not None:
                         # Fresh interpreter: absolute wire counts are this
                         # trial's (no baseline needed).
                         obs.collect_wire()
-                    await self.client.send((
-                        "result",
-                        shard_result_payload(
-                            engine, trace, proc_len, chan_len,
-                            shard_pids, driver, tag, obs=obs,
-                        ),
-                    ))
+                        for name, n in self._fault_counts.items():
+                            obs.metrics.inc(name, n)
+                    tag = driver_cfg["tag"] if driver_cfg else None
+                    payload = shard_result_payload(
+                        engine, trace, proc_len, chan_len,
+                        shard_pids, driver, tag, obs=obs,
+                    )
+                    if self._fault_counts:
+                        payload["fault_counts"] = dict(self._fault_counts)
+                    await self.client.send(("result", payload))
                 elif op == "stop":
                     return
                 else:
@@ -859,6 +1570,10 @@ class _ClusterWorker:
             await engine._teardown()
 
     async def _teardown(self) -> None:
+        for task in self._cut_tasks:
+            task.cancel()
+        if self._cut_tasks:
+            await asyncio.gather(*self._cut_tasks, return_exceptions=True)
         for writer in self._peer_writers.values():
             writer.close()
         for pump in self._pumps:
@@ -872,9 +1587,15 @@ class _ClusterWorker:
 
 
 async def _worker_async(
-    shard: int, registry_host: str, registry_port: int, advertise_host: str
+    shard: int,
+    registry_host: str,
+    registry_port: int,
+    advertise_host: str,
+    chaos: str | None,
 ) -> int:
-    worker = _ClusterWorker(shard, registry_host, registry_port, advertise_host)
+    worker = _ClusterWorker(
+        shard, registry_host, registry_port, advertise_host, chaos
+    )
     try:
         await worker.run()
         return 0
@@ -890,16 +1611,21 @@ async def _worker_async(
 
 
 def run_cluster_worker(
-    registry: str, shard: int, advertise_host: str = "127.0.0.1"
+    registry: str,
+    shard: int,
+    advertise_host: str = "127.0.0.1",
+    chaos: str | None = None,
 ) -> int:
     """Entry point of ``repro cluster-worker``: serve one shard.
 
     ``registry`` is the coordinator's rendezvous address (``host:port``);
     ``advertise_host`` is the address *peers* should dial this worker on —
     set it to this machine's reachable address when launching on a remote
-    host.  Returns a process exit code.
+    host.  ``chaos`` is an injected crash-fault token (``phase`` or
+    ``phase:round``) the coordinator threads through argv.  Returns a
+    process exit code.
     """
     host, port = parse_hostport(registry)
     if shard < 0:
         raise SimulationError(f"shard must be >= 0, got {shard}")
-    return asyncio.run(_worker_async(shard, host, port, advertise_host))
+    return asyncio.run(_worker_async(shard, host, port, advertise_host, chaos))

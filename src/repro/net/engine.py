@@ -39,8 +39,10 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Callable, Coroutine, Sequence
 
+from repro.chaos.plan import FaultPlan
 from repro.core.requests import CompletedRequest, RequestDriver
 from repro.errors import SimulationError
+from repro.net import wire
 from repro.net.clock import PacedClock, VirtualClock
 from repro.net.monitors import LiveTrace, MonitorReport, OnlineMonitor
 from repro.net.transport import LoopbackTransport, TcpFabric, TcpTransport, Transport
@@ -161,6 +163,7 @@ class AsyncSimulator(Simulator):
         transport: str = "loopback",
         tick: float = DEFAULT_TICK_SECONDS,
         monitors: Sequence[OnlineMonitor] | None = None,
+        fault_plan: "FaultPlan | str | None" = None,
         **sim_kwargs: Any,
     ) -> None:
         if transport not in TRANSPORTS:
@@ -188,6 +191,20 @@ class AsyncSimulator(Simulator):
         # the router paid vs elided via the empty-inbox fast path.
         self._handoffs_taken = 0
         self._handoffs_elided = 0
+        # Chaos fault injection (repro.chaos): only pid-keyed ship faults
+        # apply here — they rewrite MESSAGE frames at the TcpTransport
+        # boundary.  Crash/cut/stall faults need the cluster runtime.
+        if isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        if fault_plan is not None:
+            fault_plan.validate_for_async(transport)
+        self._plan = fault_plan
+        self._faults_active = bool(fault_plan)
+        self._ship_faults: list[dict[str, Any]] = [
+            {"action": f.action, "src": f.src, "dst": f.dst, "left": f.count}
+            for f in (fault_plan.ship_faults() if fault_plan else [])
+        ]
+        self.fault_counts: dict[str, int] = {}
         super().__init__(pids, build, **sim_kwargs)
         self.monitors: list[OnlineMonitor] = list(monitors or ())
         for monitor in self.monitors:
@@ -241,6 +258,32 @@ class AsyncSimulator(Simulator):
 
     def _net_error(self, exc: BaseException) -> None:
         self._net_errors.append(exc)
+
+    # -- chaos fault injection (repro.chaos) -------------------------------
+
+    def _count_fault(self, name: str) -> None:
+        self.fault_counts[name] = self.fault_counts.get(name, 0) + 1
+
+    def _fault_frames(self, src: int, dst: int, frame: bytes) -> list[bytes]:
+        """Apply the first matching budgeted ship fault to one encoded
+        MESSAGE frame; the identity list when no fault (or no plan)
+        matches."""
+        for fault in self._ship_faults:
+            if fault["left"] <= 0:
+                continue
+            if fault["src"] is not None and src != fault["src"]:
+                continue
+            if fault["dst"] is not None and dst != fault["dst"]:
+                continue
+            fault["left"] -= 1
+            action = fault["action"]
+            self._count_fault(f"fault.injected.{action}")
+            if action == "drop":
+                return []
+            if action == "duplicate":
+                return [frame, frame]
+            return [wire.truncate_frame(frame)]
+        return [frame]
 
     def _tcp_arrival(self, src: int, dst: int, msg, entry_seq: int) -> None:
         """A frame arrived for ``dst``: dispatch inside its coroutine."""
@@ -385,6 +428,8 @@ class AsyncSimulator(Simulator):
         metrics.inc("actor.handoffs_taken", self._handoffs_taken)
         metrics.inc("actor.handoffs_elided", self._handoffs_elided)
         metrics.inc("clock.runs", getattr(self.scheduler, "runs", 0))
+        for name, value in sorted(self.fault_counts.items()):
+            metrics.inc(name, value)
         frames = sum(
             transport.frames_sent for transport in self._transports.values()
         )

@@ -30,6 +30,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any
 
+from repro.chaos.backoff import Backoff, retry_async
 from repro.errors import SimulationError
 from repro.net import wire
 
@@ -107,6 +108,8 @@ class RegistryServer:
         self._handles: dict[int, _WorkerHandle] = {}
         self._complete: asyncio.Event = asyncio.Event()
         self._error: BaseException | None = None
+        self._rejoin_shard: int | None = None
+        self._rejoin_future: asyncio.Future[_WorkerHandle] | None = None
 
     @property
     def address(self) -> str:
@@ -134,7 +137,7 @@ class RegistryServer:
                 raise wire.WireError(
                     f"shard {shard} out of range 0..{self.expected - 1}"
                 )
-            if shard in self._handles:
+            if shard in self._handles and not self._rejoin_expected(shard):
                 raise wire.WireError(f"shard {shard} registered twice")
         except (asyncio.IncompleteReadError, ConnectionResetError):
             writer.close()
@@ -143,13 +146,74 @@ class RegistryServer:
             # A malformed registration fails the whole rendezvous loudly:
             # a worker that cannot register can never reach its barrier,
             # and a silent drop would hang the run until the timeout.
-            self._error = exc
-            self._complete.set()
+            if self._rejoin_future is not None and not self._rejoin_future.done():
+                self._rejoin_future.set_exception(exc)
+            else:
+                self._error = exc
+                self._complete.set()
             writer.close()
             return
-        self._handles[shard] = _WorkerHandle(shard, host, port, reader, writer)
+        handle = _WorkerHandle(shard, host, port, reader, writer)
+        if self._rejoin_expected(shard):
+            # A replacement worker re-registering after crash recovery:
+            # answer its PEERS frame right away (the rendezvous broadcast
+            # already happened) and hand it to the awaiting coordinator.
+            old = self._handles.pop(shard, None)
+            if old is not None:
+                old.close()
+            self._handles[shard] = handle
+            writer.write(wire.encode_peers(self._peer_map()))
+            await writer.drain()
+            self.round_trips += 1
+            assert self._rejoin_future is not None
+            self._rejoin_future.set_result(handle)
+            return
+        self._handles[shard] = handle
         if len(self._handles) == self.expected:
             self._complete.set()
+
+    def _rejoin_expected(self, shard: int) -> bool:
+        return (
+            self._rejoin_shard == shard
+            and self._rejoin_future is not None
+            and not self._rejoin_future.done()
+        )
+
+    def _peer_map(self) -> dict[int, tuple[str, int]]:
+        return {
+            shard: (handle.host, handle.port)
+            for shard, handle in self._handles.items()
+        }
+
+    def expect_rejoin(self, shard: int) -> None:
+        """Arm a one-shot re-registration slot for ``shard`` (crash
+        recovery respawns it); without this, a duplicate REGISTER is an
+        error.  Await the replacement's handle with :meth:`rejoin`."""
+        if not self._complete.is_set():
+            raise SimulationError(
+                "expect_rejoin before the initial rendezvous completed"
+            )
+        self._rejoin_shard = shard
+        self._rejoin_future = asyncio.get_running_loop().create_future()
+
+    async def rejoin(self, timeout: float) -> _WorkerHandle:
+        """Wait for the re-registration armed by :meth:`expect_rejoin`."""
+        if self._rejoin_future is None:
+            raise SimulationError("rejoin without expect_rejoin")
+        try:
+            handle = await asyncio.wait_for(
+                asyncio.shield(self._rejoin_future), timeout=timeout
+            )
+        except asyncio.TimeoutError:
+            raise SimulationError(
+                f"shard {self._rejoin_shard} did not re-register within "
+                f"{timeout:.0f}s of its respawn"
+            ) from None
+        finally:
+            if self._rejoin_future.done():
+                self._rejoin_shard = None
+                self._rejoin_future = None
+        return handle
 
     async def rendezvous(self, timeout: float) -> list[_WorkerHandle]:
         """Wait for every shard, then broadcast the PEERS map.
@@ -202,6 +266,11 @@ class RegistryClient:
         self.reader: asyncio.StreamReader | None = None
         self.writer: asyncio.StreamWriter | None = None
         self.peers: dict[int, tuple[str, int]] = {}
+        #: Dial attempts that had to back off and retry (repro.obs).
+        self.dial_retries = 0
+
+    def _count_retry(self, _delay: float) -> None:
+        self.dial_retries += 1
 
     async def register(
         self,
@@ -210,26 +279,25 @@ class RegistryClient:
         port: int,
         *,
         timeout: float = 30.0,
-        retry_delay: float = 0.1,
+        backoff: Backoff = Backoff(),
     ) -> dict[int, tuple[str, int]]:
-        """Connect (with retries — the coordinator may still be binding),
-        send REGISTER, await the PEERS broadcast."""
-        loop = asyncio.get_running_loop()
-        deadline = loop.time() + timeout
-        while True:
-            try:
-                self.reader, self.writer = await asyncio.open_connection(
-                    self.registry_host, self.registry_port
-                )
-                break
-            except OSError:
-                if loop.time() >= deadline:
-                    raise SimulationError(
-                        f"cannot reach registry at "
-                        f"{self.registry_host}:{self.registry_port} "
-                        f"after {timeout:.0f}s"
-                    ) from None
-                await asyncio.sleep(retry_delay)
+        """Connect (with exponential-backoff retries — the coordinator may
+        still be binding), send REGISTER, await the PEERS broadcast."""
+
+        async def dial() -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+            return await asyncio.open_connection(
+                self.registry_host, self.registry_port
+            )
+
+        self.reader, self.writer = await retry_async(
+            dial,
+            backoff=backoff,
+            timeout=timeout,
+            describe=(
+                f"registry dial to {self.registry_host}:{self.registry_port}"
+            ),
+            on_retry=self._count_retry,
+        )
         self.writer.write(wire.encode_register(shard, advertise_host, port))
         await self.writer.drain()
         kind, payload = await asyncio.wait_for(

@@ -127,9 +127,17 @@ class TcpTransport(Transport):
             delay = (entry.delivery_time - clock.wall_tick()) * clock.tick_seconds
             if delay > 0:
                 await asyncio.sleep(delay)
-            writer.write(wire.encode_message(entry.seq, entry.msg))
-            self.frames_sent += 1
-            await writer.drain()
+            frame = wire.encode_message(entry.seq, entry.msg)
+            # Chaos fault plans rewrite the frame list at this boundary:
+            # [] (drop), [frame, frame] (duplicate), [truncated] (corrupt).
+            # The slot release below is unconditional — a chaos-dropped
+            # message behaves like channel loss, not like back-pressure.
+            for out in self.engine._fault_frames(
+                self.channel.src, self.channel.dst, frame
+            ):
+                writer.write(out)
+                self.frames_sent += 1
+                await writer.drain()
             # Sender-owned slot release, same guarded rule as the serial
             # engine's cross-shard path (ship time stands in for the
             # scheduled delivery time).
@@ -186,6 +194,11 @@ class TcpFabric:
         task = asyncio.current_task()
         if task is not None:
             self._pumps.append(task)
+        # Receiver-side fault tolerance is armed only when a fault plan is
+        # active: a corrupt or duplicate frame on a fault-free run is a
+        # real protocol violation and must still fail the trial loudly.
+        tolerant = self.engine._faults_active
+        seen: set[int] = set()
         try:
             kind, payload = await wire.read_frame(reader)
             if kind != wire.HELLO:
@@ -195,7 +208,20 @@ class TcpFabric:
                 kind, payload = await wire.read_frame(reader)
                 if kind != wire.MESSAGE:
                     raise wire.WireError(f"unexpected frame kind 0x{kind:02x}")
-                seq, msg = wire.decode_message(payload)
+                try:
+                    seq, msg = wire.decode_message(payload)
+                except wire.WireError:
+                    if not tolerant:
+                        raise
+                    self.engine._count_fault("ship.corrupt_received")
+                    continue
+                if tolerant:
+                    # seq is the channel admission sequence — unique per
+                    # connection, so a repeat can only be a chaos duplicate.
+                    if seq in seen:
+                        self.engine._count_fault("ship.duplicate_dropped")
+                        continue
+                    seen.add(seq)
                 self.engine._tcp_arrival(src, dst, msg, seq)
         except (asyncio.IncompleteReadError, ConnectionResetError, asyncio.CancelledError):
             return  # peer closed or trial teardown

@@ -22,10 +22,17 @@ Frame kinds:
   ``(shard_id, host, port)``, the coordinator answers with the full peer
   map once every expected worker has registered.
 * ``SHIP`` — one cross-shard message on a cluster peer link, carrying the
-  *sender-computed* delivery time and channel entry seq (the conservative
-  window protocol of :mod:`repro.sim.sharded`, over sockets).
-* ``BARRIER`` — a shard announces it finished advance round ``round``;
-  per-connection FIFO means every SHIP of that round precedes it.
+  *sender-computed* delivery time, channel entry seq (the conservative
+  window protocol of :mod:`repro.sim.sharded`, over sockets), and the
+  sender's barrier round (so receivers can account ships per round and
+  crash recovery can replay them).
+* ``BARRIER`` — a shard announces it finished advance round ``round`` and
+  how many SHIP frames it sent that round on this link; per-connection
+  FIFO means every SHIP of that round precedes it, so a count mismatch at
+  the receiver is proof of an injected (or real) frame fault and triggers
+  the NAK/resend path of :mod:`repro.net.cluster`.  A count of
+  :data:`BARRIER_SKIP_COUNT` re-announces a round without a count check
+  (crash-recovery rewiring).
 * ``CONTROL`` — a pickled coordinator<->worker control message
   (spec/ready/adv/adv-ok/result/stop) on the registry connection.  Result
   payloads carry whole shard traces, so control channels read frames with
@@ -48,6 +55,7 @@ from repro.errors import SimulationError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "BARRIER_SKIP_COUNT",
     "HELLO",
     "MESSAGE",
     "BARRIER",
@@ -78,10 +86,18 @@ __all__ = [
     "decode_peers",
     "encode_control",
     "decode_control",
+    "truncate_frame",
 ]
 
-#: Bump on any incompatible frame-layout change.
-PROTOCOL_VERSION = 1
+#: Bump on any incompatible frame-layout change.  Version 2: SHIP frames
+#: carry the sender's barrier round; BARRIER frames carry a per-round
+#: ship count (the fault-detection/recovery protocol of repro.chaos).
+PROTOCOL_VERSION = 2
+
+#: BARRIER ``ships`` value meaning "no count check" — used when a link is
+#: rewired after a crash recovery and the sender re-announces its last
+#: finished round to the replacement worker.
+BARRIER_SKIP_COUNT = -1
 
 HELLO = 0x01
 MESSAGE = 0x02
@@ -114,7 +130,7 @@ MAX_FRAME = 1 << 20
 CONTROL_MAX_FRAME = 1 << 28
 
 _I64 = struct.Struct(">q")
-_BARRIER = struct.Struct(">qq")
+_BARRIER = struct.Struct(">qqq")
 _REGISTER = struct.Struct(">qI")
 
 
@@ -217,32 +233,54 @@ def decode_message(payload: bytes) -> tuple[int, object]:
     return seq, msg
 
 
-def encode_barrier(shard: int, round_no: int) -> bytes:
-    return pack_frame(BARRIER, _BARRIER.pack(shard, round_no))
+def encode_barrier(shard: int, round_no: int, ships: int) -> bytes:
+    """``ships`` = SHIP frames sent on this link for ``round_no`` (or
+    :data:`BARRIER_SKIP_COUNT` for a no-check re-announcement)."""
+    return pack_frame(BARRIER, _BARRIER.pack(shard, round_no, ships))
 
 
-def decode_barrier(payload: bytes) -> tuple[int, int]:
+def decode_barrier(payload: bytes) -> tuple[int, int, int]:
     if len(payload) != _BARRIER.size:
         raise WireError(
             f"barrier payload of {len(payload)} bytes, expected {_BARRIER.size}"
         )
-    shard, round_no = _BARRIER.unpack(payload)
-    return shard, round_no
+    shard, round_no, ships = _BARRIER.unpack(payload)
+    return shard, round_no, ships
 
 
-def encode_ship(src: int, dst: int, msg: object, when: int, entry_seq: int) -> bytes:
+def encode_ship(
+    src: int, dst: int, msg: object, when: int, entry_seq: int, round_no: int
+) -> bytes:
     return pack_frame(
         SHIP,
-        pickle.dumps((src, dst, msg, when, entry_seq), protocol=pickle.HIGHEST_PROTOCOL),
+        pickle.dumps(
+            (src, dst, msg, when, entry_seq, round_no),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        ),
     )
 
 
-def decode_ship(payload: bytes) -> tuple[int, int, object, int, int]:
+def decode_ship(payload: bytes) -> tuple[int, int, object, int, int, int]:
     try:
-        src, dst, msg, when, entry_seq = pickle.loads(payload)
+        src, dst, msg, when, entry_seq, round_no = pickle.loads(payload)
     except Exception as exc:  # noqa: BLE001 - normalized for callers
         raise WireError(f"undecodable ship frame: {exc}") from exc
-    return src, dst, msg, when, entry_seq
+    return src, dst, msg, when, entry_seq, round_no
+
+
+def truncate_frame(frame: bytes) -> bytes:
+    """Deterministically corrupt an encoded frame (``corrupt ship``).
+
+    Shaves the final payload byte and restates the header length, so the
+    receiver still reads a *well-framed* unit — the stream never
+    desynchronizes — but the pickle payload is undecodable and raises
+    :class:`WireError` at decode.  The receiver counts it as a corrupt
+    arrival and relies on the ship-count NAK path to recover the message.
+    """
+    kind, version, length = _HEADER.unpack(frame[: _HEADER.size])
+    if length == 0:
+        return frame
+    return _HEADER.pack(kind, version, length - 1) + frame[_HEADER.size:-1]
 
 
 def encode_register(shard: int, host: str, port: int) -> bytes:

@@ -166,6 +166,19 @@ def _summarize_metrics(path, doc: dict) -> str:
     counters = doc.get("counters", {})
     gauges = doc.get("gauges", {})
     hists = doc.get("hists", {})
+    # Chaos counters get their own section: on a fault-injection run the
+    # injected/recovered story is the headline, not one row among many.
+    chaos_prefixes = ("fault.", "worker.crashed", "recovery.", "backoff.",
+                      "ship.")
+    chaos = {name: value for name, value in counters.items()
+             if name.startswith(chaos_prefixes)}
+    counters = {name: value for name, value in counters.items()
+                if name not in chaos}
+    if chaos:
+        lines.append("  faults & recovery:")
+        width = max(len(name) for name in chaos)
+        for name in sorted(chaos):
+            lines.append(f"    {name.ljust(width)}  {chaos[name]:>12g}")
     if counters:
         lines.append("  counters:")
         width = max(len(name) for name in counters)
@@ -184,7 +197,7 @@ def _summarize_metrics(path, doc: dict) -> str:
             mean = total / count if count else 0.0
             lines.append(f"    {name.ljust(width)}  count={count:g} "
                          f"mean={mean:g} min={lo:g} max={hi:g}")
-    if not (counters or gauges or hists):
+    if not (chaos or counters or gauges or hists):
         lines.append("  (empty)")
     return "\n".join(lines)
 

@@ -1,0 +1,414 @@
+"""Fault injection + crash recovery (repro.chaos) against real workers.
+
+Three layers of coverage:
+
+* **Unit** — the :class:`~repro.chaos.Backoff` schedule pinned with a
+  seeded jitter stream and a fake clock (no sleeping), and the FaultPlan
+  DSL parser with its validation surface.
+* **Integration** — a real two-worker cluster trial killed at every
+  supported phase (rendezvous / peering / barrier / mid-round): the run
+  must either surface a :class:`~repro.errors.WorkerCrashed` diagnostic
+  carrying the shard id and stderr tail within seconds (never by timing
+  out), or recover via barrier-checkpoint replay and stay bit-identical
+  to the serial oracle.  Ship faults (drop/duplicate/corrupt), link cuts
+  and stalls must likewise leave the canonical trace untouched.
+* **Property** — a hypothesis fuzz over fault schedules (crash round x
+  shard x link cuts) asserting post-recovery bit-identity against the
+  serial oracle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.analysis.runner import execute_trial, run_pif_trial
+from repro.chaos import Backoff, FaultPlan, parse_fault_plan, retry_async
+from repro.core.pif import PifLayer
+from repro.errors import ConfigurationError, SimulationError, WorkerCrashed
+from repro.sim.trace import canonical_trace_hash
+
+# -- Backoff: schedule + retry loop under a fake clock --------------------
+
+
+def test_backoff_delays_grow_to_cap_deterministically():
+    policy = Backoff(initial=0.1, factor=2.0, cap=0.8, jitter=0.0)
+    gen = policy.delays()
+    assert [round(next(gen), 6) for _ in range(6)] == [
+        0.1, 0.2, 0.4, 0.8, 0.8, 0.8
+    ]
+
+
+def test_backoff_seeded_jitter_is_reproducible_and_bounded():
+    policy = Backoff(initial=0.1, factor=2.0, cap=1.0, jitter=0.5, seed=7)
+    first = [next(policy.delays()) for _ in range(1)]
+    a = policy.delays()
+    b = policy.delays()
+    seq_a = [next(a) for _ in range(8)]
+    seq_b = [next(b) for _ in range(8)]
+    assert seq_a == seq_b  # same seed, same stream
+    assert first[0] == seq_a[0]
+    nominal = 0.1
+    for delay in seq_a:
+        assert 0.5 * nominal <= delay <= 1.5 * nominal
+        nominal = min(nominal * 2.0, 1.0)
+
+
+def test_backoff_rejects_bad_parameters():
+    with pytest.raises(SimulationError, match="initial"):
+        Backoff(initial=0.0)
+    with pytest.raises(SimulationError, match="factor"):
+        Backoff(factor=0.5)
+    with pytest.raises(SimulationError, match="cap"):
+        Backoff(initial=1.0, cap=0.5)
+    with pytest.raises(SimulationError, match="jitter"):
+        Backoff(jitter=1.0)
+
+
+def test_retry_async_retries_then_succeeds_without_sleeping():
+    fake_now = [0.0]
+    slept: list[float] = []
+
+    async def fake_sleep(delay: float) -> None:
+        slept.append(delay)
+        fake_now[0] += delay
+
+    attempts = [0]
+
+    async def op() -> str:
+        attempts[0] += 1
+        if attempts[0] < 4:
+            raise OSError("connection refused")
+        return "connected"
+
+    retries: list[float] = []
+
+    async def main():
+        return await retry_async(
+            op,
+            backoff=Backoff(initial=0.05, factor=2.0, cap=2.0, jitter=0.0),
+            timeout=30.0,
+            describe="test dial",
+            clock=lambda: fake_now[0],
+            sleep=fake_sleep,
+            on_retry=retries.append,
+        )
+
+    assert asyncio.run(main()) == "connected"
+    assert attempts[0] == 4
+    assert slept == [0.05, 0.1, 0.2]
+    assert retries == slept
+
+
+def test_retry_async_deadline_raises_simulation_error():
+    fake_now = [0.0]
+
+    async def fake_sleep(delay: float) -> None:
+        fake_now[0] += delay
+
+    async def op() -> None:
+        raise OSError("still down")
+
+    async def main():
+        await retry_async(
+            op,
+            backoff=Backoff(initial=1.0, factor=2.0, cap=8.0, jitter=0.0),
+            timeout=5.0,
+            describe="doomed dial",
+            clock=lambda: fake_now[0],
+            sleep=fake_sleep,
+        )
+
+    with pytest.raises(SimulationError, match="doomed dial failed after 5s"):
+        asyncio.run(main())
+
+
+def test_retry_async_passes_through_non_retryable():
+    async def op() -> None:
+        raise ValueError("logic bug")
+
+    async def main():
+        await retry_async(
+            op, backoff=Backoff(jitter=0.0), timeout=5.0, describe="dial"
+        )
+
+    with pytest.raises(ValueError, match="logic bug"):
+        asyncio.run(main())
+
+
+# -- FaultPlan DSL: parsing + validation ----------------------------------
+
+
+def test_parse_every_statement_form():
+    plan = parse_fault_plan(
+        """
+        # a comment line
+        crash worker 2 at barrier 5
+        crash worker 0 at rendezvous; crash worker 1 at round 3
+        cut link 1->3 for rounds 4..8
+        cut link 0->2 at round 2 for 1.5s
+        drop ship from 1 to 3 round 2..4 count 2
+        duplicate ship from 2
+        corrupt ship to 4 count 3
+        stall worker 1 at round 2 for 0.5s
+        stall registry 2s
+        """
+    )
+    assert len(plan.faults) == 10
+    assert plan.crash_token(2) == "barrier:5"
+    assert plan.crash_token(0) == "rendezvous"
+    assert plan.crash_token(1) == "round:3"
+    assert plan.crash_token(9) is None
+    assert plan.requires_cluster()
+    assert bool(plan)
+    assert not bool(FaultPlan.parse(""))
+
+
+def test_parse_cut_round_range_converts_to_seconds():
+    plan = parse_fault_plan("cut link 1->3 for rounds 4..8")
+    cut = plan.faults[0]
+    assert (cut.src_shard, cut.dst_shard) == (1, 3)
+    assert cut.start_round == 4
+    assert cut.seconds == pytest.approx(5 * 0.25)
+
+
+@pytest.mark.parametrize("bad, match", [
+    ("crash worker 1 at nowhere", "unknown crash phase"),
+    ("crash worker 1 at barrier 0", "rounds are 1-based"),
+    ("explode worker 1", "unknown fault"),
+    ("drop ship count 0", "count"),
+    ("cut link 3 for rounds 1..2", "A->B"),
+    ("cut link 1->2 for rounds 5..4", "range"),
+])
+def test_parse_rejects_malformed_statements(bad, match):
+    with pytest.raises(ConfigurationError, match=match):
+        parse_fault_plan(bad)
+
+
+def test_worker_slice_routes_faults_to_owning_shard():
+    plan = parse_fault_plan(
+        "cut link 0->1 at round 2 for 1s\n"
+        "drop ship from 3 count 2\n"
+        "duplicate ship\n"
+        "stall worker 1 at round 4 for 0.5s\n"
+        "crash worker 0 at barrier 2"
+    )
+    shard_of = {1: 0, 2: 0, 3: 1, 4: 1}
+    slice0 = plan.worker_slice(0, shard_of)
+    slice1 = plan.worker_slice(1, shard_of)
+    assert slice0["cuts"] == [(1, 2, 1.0)]
+    # pid 3 lives on shard 1; the from-less duplicate applies everywhere.
+    assert [s[0] for s in slice0["ships"]] == ["duplicate"]
+    assert [s[0] for s in slice1["ships"]] == ["drop", "duplicate"]
+    assert slice0["stalls"] == []
+    assert slice1["stalls"] == [(4, 0.5)]
+
+
+def test_validate_for_cluster_rejects_bad_targets():
+    plan = parse_fault_plan("crash worker 5 at barrier 1")
+    with pytest.raises(ConfigurationError, match="shard 5"):
+        plan.validate_for_cluster(2, (1, 2, 3, 4), sync="windowed",
+                                  spawned=True)
+    plan = parse_fault_plan("crash worker 0 at barrier 1")
+    with pytest.raises(ConfigurationError, match="windowed"):
+        plan.validate_for_cluster(2, (1, 2, 3, 4), sync="freerun",
+                                  spawned=True)
+    with pytest.raises(ConfigurationError, match="hand-launched"):
+        plan.validate_for_cluster(2, (1, 2, 3, 4), sync="windowed",
+                                  spawned=False)
+    plan = parse_fault_plan("drop ship from 9")
+    with pytest.raises(ConfigurationError, match="pid 9"):
+        plan.validate_for_cluster(2, (1, 2, 3, 4), sync="windowed",
+                                  spawned=True)
+
+
+def test_validate_for_async_rejects_cluster_only_faults():
+    with pytest.raises(ConfigurationError, match="cluster"):
+        parse_fault_plan("crash worker 0 at barrier 1").validate_for_async("tcp")
+    with pytest.raises(ConfigurationError, match="loopback"):
+        parse_fault_plan("drop ship from 1").validate_for_async("loopback")
+    parse_fault_plan("drop ship from 1").validate_for_async("tcp")
+
+
+def test_execute_trial_guards_fault_plan_engine_axis():
+    with pytest.raises(SimulationError, match="fault_plan requires"):
+        execute_trial(
+            4, lambda h: h.register(PifLayer("pif")),
+            driver=dict(tag="pif", requests_per_process=1),
+            horizon=100_000, engine="serial",
+            fault_plan="drop ship from 1",
+        )
+
+
+# -- cluster integration: kill a real worker at every phase ---------------
+
+SERIAL_ORACLE: dict = {}
+
+
+def _serial(seed: int):
+    if seed not in SERIAL_ORACLE:
+        SERIAL_ORACLE[seed] = run_pif_trial(6, seed=seed, engine="serial")
+    return SERIAL_ORACLE[seed]
+
+
+@pytest.mark.parametrize("phase, plan", [
+    ("peering", "crash worker 1 at peering"),
+    ("barrier", "crash worker 1 at barrier 3"),
+    ("round", "crash worker 0 at round 2"),
+])
+def test_worker_crash_recovers_bit_identically(phase, plan):
+    serial = _serial(3)
+    trial = run_pif_trial(6, seed=3, engine="cluster", hosts=2,
+                          fault_plan=plan)
+    assert trial.ok
+    assert trial.measurements == serial.measurements
+    assert trial.provenance["recoveries"] == 1
+    assert trial.provenance["fault_counts"]["worker.crashed"] == 1
+    assert trial.provenance["fault_counts"]["fault.injected.crash"] == 1
+
+
+def test_rendezvous_crash_surfaces_diagnostic_fast_not_timeout():
+    started = time.monotonic()
+    with pytest.raises(WorkerCrashed) as excinfo:
+        run_pif_trial(6, seed=3, engine="cluster", hosts=2,
+                      fault_plan="crash worker 0 at rendezvous")
+    elapsed = time.monotonic() - started
+    assert elapsed < 5.0, f"diagnosis took {elapsed:.1f}s (timeout path?)"
+    crash = excinfo.value
+    assert crash.shard == 0
+    assert crash.exit_code == 70
+    assert "chaos: injected crash at rendezvous" in (crash.stderr_tail or "")
+    assert "shard 0" in str(crash)
+
+
+def test_crash_with_recovery_disabled_is_a_fast_diagnostic():
+    from repro.net.cluster import ClusterSimulator
+
+    driver = dict(tag="pif", requests_per_process=2,
+                  payload_fmt="m-{pid}-{k}")
+    sim = ClusterSimulator(
+        6, {"kind": "pif"}, seed=3, hosts=2,
+        fault_plan="crash worker 1 at barrier 2", recover=False,
+    )
+    started = time.monotonic()
+    with pytest.raises(WorkerCrashed) as excinfo:
+        sim.run_trial(horizon=2_000_000, scramble_seed=3 ^ 0x5EED,
+                      driver=driver)
+    assert time.monotonic() - started < 30.0
+    crash = excinfo.value
+    assert crash.shard == 1
+    assert crash.round == 2
+    assert "chaos: injected crash at barrier 2" in (crash.stderr_tail or "")
+
+
+def test_ship_faults_and_cuts_recover_bit_identically():
+    serial = _serial(3)
+    trial = run_pif_trial(
+        6, seed=3, engine="cluster", hosts=2,
+        fault_plan=(
+            "drop ship from 1 round 2..9 count 2\n"
+            "corrupt ship from 4 count 1\n"
+            "cut link 0->1 for rounds 2..3"
+        ),
+    )
+    assert trial.ok
+    assert trial.measurements == serial.measurements
+    counts = trial.provenance["fault_counts"]
+    assert counts["fault.injected.drop"] == 2
+    assert counts["fault.injected.cut"] == 1
+    assert counts["ship.resent"] >= 2  # NAK/resend healed the drops
+
+
+def test_crash_plus_link_cut_compose():
+    serial = _serial(5)
+    trial = run_pif_trial(
+        6, seed=5, engine="cluster", hosts=2,
+        fault_plan=(
+            "crash worker 1 at barrier 2\n"
+            "cut link 0->1 for rounds 4..5"
+        ),
+    )
+    assert trial.ok
+    assert trial.measurements == serial.measurements
+    assert trial.provenance["recoveries"] == 1
+
+
+def test_fault_free_plan_machinery_keeps_canonical_hash():
+    """An *empty* fault plan arms the chaos machinery (dedup sets,
+    tolerant pumps) without injecting anything: the trace hash must not
+    move."""
+    driver = dict(tag="pif", requests_per_process=1,
+                  payload_fmt="m-{pid}-{k}")
+    base = execute_trial(
+        6, lambda h: h.register(PifLayer("pif")), seed=0, driver=dict(driver),
+        horizon=2_000_000, engine="cluster", hosts=2, protocol={"kind": "pif"},
+    )
+    armed = execute_trial(
+        6, lambda h: h.register(PifLayer("pif")), seed=0, driver=dict(driver),
+        horizon=2_000_000, engine="cluster", hosts=2, protocol={"kind": "pif"},
+        fault_plan=FaultPlan.parse(""),
+    )
+    assert canonical_trace_hash(base.trace) == canonical_trace_hash(armed.trace)
+    assert armed.fault_counts == {}
+
+
+# -- async tcp: frame faults at the MESSAGE boundary ----------------------
+
+
+def test_async_tcp_ship_faults_count_and_monitors_hold():
+    trial = run_pif_trial(
+        6, seed=3, engine="async", transport="tcp", horizon=60_000,
+        fault_plan="duplicate ship from 1 count 2; corrupt ship from 2 count 1",
+    )
+    assert trial.ok
+    assert trial.provenance["monitors_ok"]
+    counts = trial.provenance["fault_counts"]
+    assert counts["fault.injected.duplicate"] == 2
+    assert counts["fault.injected.corrupt"] == 1
+    assert counts["ship.duplicate_dropped"] == 2
+    assert counts["ship.corrupt_received"] == 1
+
+
+# -- property: fault schedules keep the serial bit-identity ---------------
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+@st.composite
+def fault_schedules(draw) -> str:
+    statements = []
+    if draw(st.booleans()):
+        shard = draw(st.integers(min_value=0, max_value=1))
+        phase = draw(st.sampled_from(["barrier", "round"]))
+        round_no = draw(st.integers(min_value=1, max_value=4))
+        statements.append(f"crash worker {shard} at {phase} {round_no}")
+    if draw(st.booleans()):
+        src = draw(st.integers(min_value=0, max_value=1))
+        start = draw(st.integers(min_value=1, max_value=3))
+        statements.append(
+            f"cut link {src}->{1 - src} for rounds {start}..{start + 1}"
+        )
+    if draw(st.booleans()):
+        pid = draw(st.integers(min_value=1, max_value=6))
+        count = draw(st.integers(min_value=1, max_value=2))
+        statements.append(f"drop ship from {pid} count {count}")
+    return "\n".join(statements)
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(plan_text=fault_schedules(), seed=st.integers(min_value=0, max_value=3))
+def test_fault_schedule_fuzz_preserves_serial_identity(plan_text, seed):
+    serial = _serial(seed)
+    trial = run_pif_trial(6, seed=seed, engine="cluster", hosts=2,
+                          fault_plan=plan_text or None)
+    assert trial.ok
+    assert trial.measurements == serial.measurements

@@ -55,16 +55,26 @@ def test_message_round_trip():
 
 
 def test_barrier_round_trip():
-    kind, payload = read(feed(wire.encode_barrier(3, 1_000_000)))
+    kind, payload = read(feed(wire.encode_barrier(3, 1_000_000, 7)))
     assert kind == wire.BARRIER
-    assert wire.decode_barrier(payload) == (3, 1_000_000)
+    assert wire.decode_barrier(payload) == (3, 1_000_000, 7)
+
+
+def test_barrier_skip_count_round_trip():
+    kind, payload = read(
+        feed(wire.encode_barrier(2, 5, wire.BARRIER_SKIP_COUNT))
+    )
+    assert kind == wire.BARRIER
+    assert wire.decode_barrier(payload) == (2, 5, wire.BARRIER_SKIP_COUNT)
 
 
 def test_ship_round_trip():
-    frame = wire.encode_ship(1, 6, ("pif", "m-1-0"), when=17, entry_seq=4)
+    frame = wire.encode_ship(
+        1, 6, ("pif", "m-1-0"), when=17, entry_seq=4, round_no=2
+    )
     kind, payload = read(feed(frame))
     assert kind == wire.SHIP
-    assert wire.decode_ship(payload) == (1, 6, ("pif", "m-1-0"), 17, 4)
+    assert wire.decode_ship(payload) == (1, 6, ("pif", "m-1-0"), 17, 4, 2)
 
 
 def test_register_round_trip():
@@ -90,9 +100,24 @@ def test_control_round_trip():
 
 
 def test_multiple_frames_on_one_connection():
-    frames = read(feed(wire.encode_hello(1), wire.encode_barrier(1, 0)),
+    frames = read(feed(wire.encode_hello(1), wire.encode_barrier(1, 0, 0)),
                   count=2)
     assert [kind for kind, _ in frames] == [wire.HELLO, wire.BARRIER]
+
+
+def test_truncate_frame_stays_well_framed_but_undecodable():
+    # The `corrupt ship` fault: framing must survive (the stream never
+    # desynchronizes), the pickle must not.
+    good = wire.encode_ship(0, 1, "payload", 5, 0, 1)
+    bad = wire.truncate_frame(good)
+    assert len(bad) == len(good) - 1
+    tail = wire.encode_hello(9)
+    frames = read(feed(bad, tail), count=2)
+    (kind, payload), (kind2, payload2) = frames
+    assert kind == wire.SHIP
+    with pytest.raises(wire.WireError, match="undecodable ship"):
+        wire.decode_ship(payload)
+    assert kind2 == wire.HELLO and wire.decode_hello(payload2) == 9
 
 
 # -- truncation -----------------------------------------------------------
@@ -104,7 +129,7 @@ def test_truncated_header_raises_incomplete_read():
 
 
 def test_truncated_payload_raises_incomplete_read():
-    frame = wire.encode_ship(0, 1, "payload", 5, 0)
+    frame = wire.encode_ship(0, 1, "payload", 5, 0, 1)
     with pytest.raises(asyncio.IncompleteReadError):
         read(feed(frame[:-2]))
 
@@ -160,7 +185,7 @@ def test_hello_payload_wrong_size():
 
 
 def test_barrier_payload_wrong_size():
-    with pytest.raises(wire.WireError, match="expected 16"):
+    with pytest.raises(wire.WireError, match="expected 24"):
         wire.decode_barrier(b"\x00" * 8)
 
 
