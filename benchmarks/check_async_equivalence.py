@@ -9,52 +9,62 @@ draws must stay engine-independent — and compares the raw traces event for
 event plus a canonical trace hash — the bit-identity proof obligation —
 and asserts every online monitor agreed with the offline verdict.
 
+Every case is one :class:`~repro.engine.TrialSpec` with the engine axis
+replaced per run — the comparison goes through the same
+:func:`repro.engine.execute` pipeline and backend registry the CLI uses.
+
 ``--tcp-smoke`` additionally runs one E3 trial at n=8 over real localhost
 TCP sockets and requires completion with all online spec monitors
-passing; ``--tcp-only`` runs just that smoke.  The tcp path is wall-clock
-best-effort, so CI keeps it non-gating; the loopback gate is the hard
-contract.
+passing; ``--udp-smoke`` does the same over loopback UDP datagrams (the
+transport registered purely through the registry — no engine/runner/CLI
+edits); ``--tcp-only``/``--udp-only`` run just that smoke.  The socket
+paths are wall-clock best-effort, so CI keeps them non-gating; the
+loopback gate is the hard contract.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_async_equivalence.py \
-        [--tcp-smoke | --tcp-only]
+        [--tcp-smoke | --tcp-only | --udp-smoke | --udp-only]
 """
 
 from __future__ import annotations
 
 import sys
 import time
+from dataclasses import replace
 
-from repro.analysis.runner import execute_trial, run_mutex_trial, run_pif_trial
+from repro.analysis.runner import run_mutex_trial, run_pif_trial
 from repro.core.pif import PifLayer
+from repro.engine import TransportOpts, TrialSpec, execute
 from repro.sim.trace import canonical_trace_hash
 
 CASES = [
-    ("E3 pif  complete   n=16", run_pif_trial, 16,
-     dict(topology=None, seed=0, loss=0.1, requests_per_process=1)),
-    ("E3 pif  ring       n=16", run_pif_trial, 16,
-     dict(topology="ring", seed=0, loss=0.1, requests_per_process=1)),
-    ("E3 pif  clustered  n=16", run_pif_trial, 16,
-     dict(topology="clustered:4", seed=0, loss=0.1, requests_per_process=1)),
-    ("E5 me   complete   n=8 ", run_mutex_trial, 8,
-     dict(topology=None, seed=1, loss=0.0, requests_per_process=1)),
-    ("E5 me   ring       n=8 ", run_mutex_trial, 8,
-     dict(topology="ring", seed=1, loss=0.0, requests_per_process=1)),
-    ("E5 me   clustered  n=16", run_mutex_trial, 16,
-     dict(topology="clustered:4", seed=3, loss=0.1, requests_per_process=1)),
-    ("E3 pif  wan        n=32", run_pif_trial, 32,
-     dict(topology="wan:4", seed=0, loss=0.1, requests_per_process=1)),
+    ("E3 pif  complete   n=16", run_pif_trial,
+     TrialSpec(n=16, topology=None, seed=0, loss=0.1)),
+    ("E3 pif  ring       n=16", run_pif_trial,
+     TrialSpec(n=16, topology="ring", seed=0, loss=0.1)),
+    ("E3 pif  clustered  n=16", run_pif_trial,
+     TrialSpec(n=16, topology="clustered:4", seed=0, loss=0.1)),
+    ("E5 me   complete   n=8 ", run_mutex_trial,
+     TrialSpec(n=8, topology=None, seed=1, loss=0.0)),
+    ("E5 me   ring       n=8 ", run_mutex_trial,
+     TrialSpec(n=8, topology="ring", seed=1, loss=0.0)),
+    ("E5 me   clustered  n=16", run_mutex_trial,
+     TrialSpec(n=16, topology="clustered:4", seed=3, loss=0.1)),
+    ("E3 pif  wan        n=32", run_pif_trial,
+     TrialSpec(n=32, topology="wan:4", seed=0, loss=0.1)),
 ]
 
 
 def check_metrics() -> bool:
     ok = True
-    for name, runner, n, kwargs in CASES:
+    for name, runner, base in CASES:
         t0 = time.perf_counter()
-        serial = runner(n, engine="serial", **kwargs)
+        serial = runner(spec=replace(base, engine="serial"),
+                        requests_per_process=1)
         t1 = time.perf_counter()
-        loopback = runner(n, engine="async", transport="loopback", **kwargs)
+        loopback = runner(spec=replace(base, engine="async"),
+                          requests_per_process=1)
         t2 = time.perf_counter()
         same = (
             serial.ok == loopback.ok
@@ -74,16 +84,27 @@ def check_metrics() -> bool:
     return ok
 
 
+def _pif_spec(n: int, *, topology: str | None, horizon: int = 2_000_000,
+              transport: str = "loopback") -> TrialSpec:
+    return TrialSpec(
+        n=n,
+        build=lambda h: h.register(PifLayer("pif")),
+        topology=topology,
+        seed=0,
+        loss=0.1,
+        driver=dict(tag="pif", requests_per_process=1,
+                    payload=lambda pid, k: f"m-{pid}-{k}"),
+        horizon=horizon,
+        transport=TransportOpts(transport=transport),
+    )
+
+
 def check_bit_identity(topology: str, n: int) -> bool:
-    driver = dict(tag="pif", requests_per_process=1,
-                  payload=lambda pid, k: f"m-{pid}-{k}")
-    runs = {}
-    for engine in ("serial", "async"):
-        runs[engine] = execute_trial(
-            n, lambda h: h.register(PifLayer("pif")),
-            topology=topology, seed=0, loss=0.1,
-            driver=driver, horizon=2_000_000, engine=engine,
-        )
+    spec = _pif_spec(n, topology=topology)
+    runs = {
+        engine: execute(replace(spec, engine=engine))
+        for engine in ("serial", "async")
+    }
     serial_events = [(e.time, e.kind, e.process, e.data)
                      for e in runs["serial"].trace]
     loopback_events = [(e.time, e.kind, e.process, e.data)
@@ -105,21 +126,18 @@ def check_bit_identity(topology: str, n: int) -> bool:
     return same
 
 
-def tcp_smoke() -> bool:
+def socket_smoke(transport: str) -> bool:
     """One E3 trial at n=8 over real sockets; every monitor must pass."""
-    driver = dict(tag="pif", requests_per_process=1,
-                  payload=lambda pid, k: f"m-{pid}-{k}")
     t0 = time.perf_counter()
-    run = execute_trial(
-        8, lambda h: h.register(PifLayer("pif")),
-        seed=0, loss=0.1, driver=driver, horizon=60_000,
-        engine="async", transport="tcp",
-    )
+    run = execute(replace(
+        _pif_spec(8, topology=None, horizon=60_000, transport=transport),
+        engine="async",
+    ))
     wall = time.perf_counter() - t0
     ok = run.completed and run.monitors_ok
     print(("OK " if ok else "FAILED")
-          + f" tcp smoke E3 n=8: completed={run.completed} wall={wall:.1f}s "
-          f"final_time={run.final_time} ticks "
+          + f" {transport} smoke E3 n=8: completed={run.completed} "
+          f"wall={wall:.1f}s final_time={run.final_time} ticks "
           f"monitors={[r.summary() for r in run.monitor_reports]}")
     for report in run.monitor_reports:
         for violation in report.violations[:5]:
@@ -129,13 +147,16 @@ def tcp_smoke() -> bool:
 
 def main() -> int:
     args = sys.argv[1:]
+    only = "--tcp-only" in args or "--udp-only" in args
     ok = True
-    if "--tcp-only" not in args:
+    if not only:
         ok = check_metrics()
         ok &= check_bit_identity("clustered:4", 16)
         ok &= check_bit_identity("wan:4", 32)
     if "--tcp-smoke" in args or "--tcp-only" in args:
-        ok &= tcp_smoke()
+        ok &= socket_smoke("tcp")
+    if "--udp-smoke" in args or "--udp-only" in args:
+        ok &= socket_smoke("udp")
     print("async-equivalence:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
 

@@ -32,8 +32,10 @@ import sys
 import time
 from pathlib import Path
 
-from repro.analysis.runner import execute_trial, run_mutex_trial, run_pif_trial
+from repro.analysis.runner import run_mutex_trial, run_pif_trial
 from repro.core.pif import PifLayer
+from repro.engine import ChaosOpts, ClusterOpts, TrialSpec, execute
+from repro.engine.spec import resolve_fault_plan
 from repro.obs.spans import validate_chrome_trace
 from repro.sim.trace import canonical_trace_hash
 
@@ -97,15 +99,25 @@ def check_metrics() -> bool:
     return ok
 
 
-def _probe(engine: str, n: int, **extra):
-    driver = dict(tag="pif", requests_per_process=1,
-                  payload_fmt="m-{pid}-{k}")
-    return execute_trial(
-        n, lambda h: h.register(PifLayer("pif")),
-        topology=None, seed=0, loss=0.1,
-        driver=driver, horizon=2_000_000, engine=engine,
-        protocol={"kind": "pif"}, **extra,
+def _probe(engine: str, n: int, *, hosts: int | None = None,
+           fault_plan: str | None = None, timeline: str | None = None):
+    spec = TrialSpec(
+        n=n,
+        build=lambda h: h.register(PifLayer("pif")),
+        topology=None,
+        seed=0,
+        loss=0.1,
+        driver=dict(tag="pif", requests_per_process=1,
+                    payload_fmt="m-{pid}-{k}"),
+        horizon=2_000_000,
+        engine=engine,
+        protocol={"kind": "pif"},
+        cluster=ClusterOpts(hosts=hosts),
+        chaos=ChaosOpts(plan=resolve_fault_plan(fault_plan)),
     )
+    if timeline is not None:
+        spec = spec.with_obs(None, timeline)
+    return execute(spec)
 
 
 def check_hash_identity(n: int, hosts: int, timeline_out: str) -> bool:

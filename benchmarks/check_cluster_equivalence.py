@@ -37,10 +37,12 @@ import json
 import sys
 import tempfile
 import time
+from dataclasses import replace
 from pathlib import Path
 
-from repro.analysis.runner import execute_trial, run_mutex_trial, run_pif_trial
+from repro.analysis.runner import run_mutex_trial, run_pif_trial
 from repro.core.pif import PifLayer
+from repro.engine import ClusterOpts, TrialSpec, execute
 from repro.obs.spans import validate_chrome_trace
 from repro.sim.trace import canonical_trace_hash
 
@@ -92,20 +94,34 @@ def check_metrics() -> bool:
     return ok
 
 
+def _probe_spec(topology: str | None, n: int, hosts: int) -> TrialSpec:
+    """The PIF probe as one spec; only the engine axis varies per run."""
+    return TrialSpec(
+        n=n,
+        build=lambda h: h.register(PifLayer("pif")),
+        topology=topology,
+        seed=0,
+        loss=0.1,
+        driver=dict(tag="pif", requests_per_process=1,
+                    payload_fmt="m-{pid}-{k}"),
+        horizon=2_000_000,
+        protocol={"kind": "pif"},
+        cluster=ClusterOpts(hosts=hosts),
+    )
+
+
 def check_bit_identity(topology: str | None, n: int, hosts: int) -> bool:
     """The probe case: the merged cluster trace must equal the serial
     trace event for event, and hash identically under the canonical
     trace hash."""
-    driver = dict(tag="pif", requests_per_process=1,
-                  payload_fmt="m-{pid}-{k}")
-    runs = {}
-    for engine, extra in (("serial", {}), ("cluster", {"hosts": hosts})):
-        runs[engine] = execute_trial(
-            n, lambda h: h.register(PifLayer("pif")),
-            topology=topology, seed=0, loss=0.1,
-            driver=dict(driver), horizon=2_000_000, engine=engine,
-            protocol={"kind": "pif"}, **extra,
-        )
+    spec = _probe_spec(topology, n, hosts)
+    runs = {
+        engine: execute(replace(
+            spec, engine=engine,
+            cluster=spec.cluster if engine == "cluster" else ClusterOpts(),
+        ))
+        for engine in ("serial", "cluster")
+    }
     serial_events = [(e.time, e.kind, e.process, e.data)
                      for e in runs["serial"].trace]
     cluster_events = [(e.time, e.kind, e.process, e.data)
@@ -140,25 +156,14 @@ def check_obs_identity(
     timeline must validate as Chrome trace-event JSON and cover the
     coordinator plus one lane per worker, each with barrier-wait spans.
     """
-    driver = dict(tag="pif", requests_per_process=1,
-                  payload_fmt="m-{pid}-{k}")
-    common = dict(
-        topology=topology, seed=0, loss=0.1, driver=driver,
-        horizon=2_000_000, protocol={"kind": "pif"},
-    )
-
-    def probe(engine, **extra):
-        return execute_trial(
-            n, lambda h: h.register(PifLayer("pif")),
-            engine=engine, **common, **extra,
-        )
-
+    spec = _probe_spec(topology, n, hosts)
     with tempfile.TemporaryDirectory() as tmp:
-        serial = probe("serial")
-        plain = probe("cluster", hosts=hosts)
-        observed = probe(
-            "cluster", hosts=hosts,
-            metrics=str(Path(tmp) / "metrics.json"), timeline=timeline_out,
+        serial = execute(replace(spec, engine="serial",
+                                 cluster=ClusterOpts()))
+        plain = execute(replace(spec, engine="cluster"))
+        observed = execute(
+            replace(spec, engine="cluster")
+            .with_obs(str(Path(tmp) / "metrics.json"), timeline_out)
         )
     hashes = [canonical_trace_hash(run.trace)
               for run in (serial, plain, observed)]

@@ -1,0 +1,101 @@
+"""CI gate: the engine and transport registries stay whole.
+
+Asserts, without running a single trial:
+
+* all four built-in engine backends (serial, sharded, async, cluster)
+  and the three transports (loopback, tcp, udp) are registered;
+* names are unique and every backend's declared capabilities are drawn
+  from the known axis vocabulary (plus ``transport:*`` markers);
+* every backend declares ``obs`` — observability is engine-independent;
+* transport flags are coherent (a deterministic medium cannot be paced;
+  socket-fabric media must declare a frame boundary to inject at);
+* no per-engine ``if engine ==`` / ``elif engine ==`` dispatch chain has
+  crept back into ``src/repro/analysis/`` — the registry is the only
+  dispatcher (the grep guard for the PR-10 refactor).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_registry_integrity.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+from repro.engine import backends, engine_names
+from repro.engine.base import AXES
+from repro.net.transport import resolve_transport, transport_names
+
+EXPECTED_ENGINES = ("async", "cluster", "serial", "sharded")
+EXPECTED_TRANSPORTS = ("loopback", "tcp", "udp")
+
+#: Valid capability tokens: the axis vocabulary plus transport markers.
+_CAPABILITY = re.compile(
+    r"^(obs|"
+    + "|".join(re.escape(capability) for capability, _, _ in AXES)
+    + r"|transport:\w+)$"
+)
+
+_DISPATCH = re.compile(r"^\s*(el)?if\s+.*\bengine\s*==")
+
+
+def check_registries() -> list[str]:
+    problems: list[str] = []
+    names = engine_names()
+    if names != EXPECTED_ENGINES:
+        problems.append(f"engine registry: {names} != {EXPECTED_ENGINES}")
+    if len(set(names)) != len(names):
+        problems.append(f"engine names overlap: {names}")
+    for name, backend in backends().items():
+        if name != backend.name:
+            problems.append(
+                f"registry key {name!r} != backend name {backend.name!r}")
+        caps = backend.capabilities()
+        if not isinstance(caps, frozenset):
+            problems.append(f"{backend.name}: capabilities() not a frozenset")
+            caps = frozenset(caps)
+        if "obs" not in caps:
+            problems.append(f"{backend.name}: missing the 'obs' capability")
+        for cap in sorted(caps):
+            if not _CAPABILITY.match(cap):
+                problems.append(f"{backend.name}: unknown capability {cap!r}")
+
+    tnames = transport_names()
+    if tnames != EXPECTED_TRANSPORTS:
+        problems.append(f"transport registry: {tnames} != {EXPECTED_TRANSPORTS}")
+    for tname in tnames:
+        kind = resolve_transport(tname)
+        if kind.deterministic and kind.paced:
+            problems.append(f"transport {tname}: deterministic yet paced")
+        if kind.fabric_factory is not None and not kind.frame_boundary:
+            problems.append(f"transport {tname}: socket fabric without frames")
+    return problems
+
+
+def check_no_dispatch_chains() -> list[str]:
+    problems: list[str] = []
+    analysis = Path(__file__).resolve().parent.parent / "src/repro/analysis"
+    for path in sorted(analysis.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if _DISPATCH.match(line):
+                problems.append(
+                    f"{path.relative_to(analysis.parent.parent.parent)}:"
+                    f"{lineno}: per-engine dispatch chain: {line.strip()}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = check_registries() + check_no_dispatch_chains()
+    for problem in problems:
+        print("FAILED", problem)
+    print(f"registries: engines={engine_names()} "
+          f"transports={transport_names()}")
+    print("registry-integrity:", "FAIL" if problems else "PASS")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,11 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.analysis.runner import execute_trial, run_mutex_trial, run_pif_trial
+from dataclasses import replace
+
+from repro.analysis.runner import run_mutex_trial, run_pif_trial
 from repro.core.pif import PifLayer
+from repro.engine import TrialSpec, execute
 from repro.sim.trace import canonical_trace_hash
 
 N = 32
@@ -67,15 +70,20 @@ def check_metrics() -> bool:
 
 
 def check_bit_identity(topology: str) -> bool:
-    driver = dict(tag="pif", requests_per_process=1,
-                  payload=lambda pid, k: f"m-{pid}-{k}")
-    runs = {}
-    for engine in ("serial", "sharded"):
-        runs[engine] = execute_trial(
-            N, lambda h: h.register(PifLayer("pif")),
-            topology=topology, seed=0, loss=0.1,
-            driver=driver, horizon=2_000_000, engine=engine,
-        )
+    spec = TrialSpec(
+        n=N,
+        build=lambda h: h.register(PifLayer("pif")),
+        topology=topology,
+        seed=0,
+        loss=0.1,
+        driver=dict(tag="pif", requests_per_process=1,
+                    payload=lambda pid, k: f"m-{pid}-{k}"),
+        horizon=2_000_000,
+    )
+    runs = {
+        engine: execute(replace(spec, engine=engine))
+        for engine in ("serial", "sharded")
+    }
     serial_events = [(e.time, e.kind, e.process, e.data)
                      for e in runs["serial"].trace]
     sharded_events = [(e.time, e.kind, e.process, e.data)

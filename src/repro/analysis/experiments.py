@@ -294,7 +294,13 @@ def run_topology_matrix(
     with the cell's topology/loss/seed (see
     :func:`repro.obs.recorder.indexed_path`).
     """
+    from dataclasses import replace
+
     from repro.analysis.runner import run_mutex_trial, run_pif_trial
+    from repro.engine import (
+        ChaosOpts, ClusterOpts, ShardingOpts, TransportOpts, TrialSpec,
+    )
+    from repro.engine.spec import resolve_fault_plan
     from repro.obs.recorder import indexed_path
     from repro.sim.topology import topology_from_spec
 
@@ -307,7 +313,18 @@ def run_topology_matrix(
     if protocol not in ("pif", "mutex"):
         raise SimulationError(f"unknown matrix protocol {protocol!r}")
     runner = run_pif_trial if protocol == "pif" else run_mutex_trial
-    extra: dict[str, Any] = {} if horizon is None else {"horizon": horizon}
+    # One spec for the whole matrix; each cell trial replaces only the
+    # axes that vary (topology/seed/loss, plus per-cell obs paths).
+    base = TrialSpec(
+        n=n,
+        latency=latency,
+        horizon=horizon,
+        engine=engine,
+        sharding=ShardingOpts(shards=shards, window=window),
+        transport=TransportOpts(transport=transport, tick=tick),
+        cluster=ClusterOpts(hosts=hosts, sync=sync),
+        chaos=ChaosOpts(plan=resolve_fault_plan(fault_plan)),
+    )
     rows: list[dict[str, Any]] = []
     for spec in topologies:
         # One graph instance per scenario: a seeded random family (gnp)
@@ -321,26 +338,19 @@ def run_topology_matrix(
             messages = 0
             final_time = 0
             for seed in seeds:
-                obs_kwargs: dict[str, Any] = {}
+                cell = replace(base, topology=top, seed=seed, loss=loss)
                 if metrics is not None or timeline is not None:
                     label = (
                         f"{spec}-loss{loss}-seed{seed}"
                         .replace(":", "_").replace(".", "_")
                     )
-                    if metrics is not None:
-                        obs_kwargs["metrics"] = str(indexed_path(metrics, label))
-                    if timeline is not None:
-                        obs_kwargs["timeline"] = str(
-                            indexed_path(timeline, label)
-                        )
-                trial = runner(
-                    n, seed=seed, loss=loss, topology=top,
-                    requests_per_process=1, latency=latency,
-                    engine=engine, shards=shards, window=window,
-                    transport=transport, tick=tick,
-                    hosts=hosts, sync=sync, fault_plan=fault_plan,
-                    **extra, **obs_kwargs,
-                )
+                    cell = cell.with_obs(
+                        str(indexed_path(metrics, label))
+                        if metrics is not None else None,
+                        str(indexed_path(timeline, label))
+                        if timeline is not None else None,
+                    )
+                trial = runner(spec=cell, requests_per_process=1)
                 ok += 1 if trial.ok else 0
                 violations += trial.violations
                 messages += trial.measurements["messages"]

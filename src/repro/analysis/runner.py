@@ -1,54 +1,64 @@
 """Experiment runners: one function per trial type, plus parameter sweeps.
 
-Each trial builds a fresh seeded simulator, optionally scrambles it into an
-arbitrary initial configuration, drives requests, runs to completion, checks
-the relevant specification, and returns a flat result dict ready for table
+Each trial builds a :class:`~repro.engine.TrialSpec`, hands it to the
+:func:`repro.engine.execute` pipeline (spec → registry → backend → trace
+→ specs/monitors → provenance), checks the relevant specification over
+the returned trace and returns a flat result dict ready for table
 rendering (experiments E3, E4, E5, E7 of DESIGN.md).
 
-Every trial accepts an ``engine`` axis: ``"serial"`` (one in-process
-scheduler), ``"sharded"`` (:class:`repro.sim.sharded.ShardedSimulator` —
-the topology partitioned across worker processes under the conservative
-time-window protocol) or ``"async"`` (:class:`repro.net.AsyncSimulator` —
-one coroutine per process over a ``loopback`` or ``tcp`` transport, with
-online spec monitors).  All engines execute the *same* trial shape —
-build, scramble, drive requests until served, drain ``DRAIN_TICKS`` — and
-``serial``/``sharded``/``async``+``loopback`` produce bit-identical traces
-for the same seed, so every specification check and measurement below is
-engine-agnostic; ``async``+``tcp`` is wall-clock best-effort and carries
-its correctness in the online monitor verdicts.
+Every trial accepts an ``engine`` axis answered by the backend registry
+(:mod:`repro.engine.registry`): ``serial``, ``sharded``, ``async`` and
+``cluster`` are built in, and all execute the *same* trial shape —
+build, scramble, drive requests until served, drain
+:data:`~repro.engine.DRAIN_TICKS`.  Deterministic configurations
+(``serial``, ``sharded``, ``async``+``loopback``,
+``cluster``+``windowed``) produce bit-identical traces for the same
+seed, so every specification check and measurement below is
+engine-agnostic; best-effort configurations (paced transports, cluster
+freerun) carry their correctness in the online monitor verdicts.
+
+The ``run_*_trial`` wrappers take either the legacy keyword axes or a
+ready ``spec=`` (built once, e.g. by the CLI via
+:meth:`TrialSpec.from_cli_args`) and fill in the experiment part:
+``build``, ``protocol``, the driver config and the per-experiment
+horizon default.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from repro.core.idl import IdlLayer
 from repro.core.mutex import MutexLayer
 from repro.core.pif import PifLayer
-from repro.core.requests import CompletedRequest, RequestDriver
+from repro.engine import (
+    DRAIN_TICKS,
+    ChaosOpts,
+    ClusterOpts,
+    EngineRun,
+    ObsOpts,
+    ShardingOpts,
+    TransportOpts,
+    TrialSpec,
+    execute,
+)
+from repro.engine.base import resolve_topology as _resolve_topology
+from repro.engine.spec import resolve_fault_plan
 from repro.errors import HorizonExceeded, SimulationError
-from repro.net.cluster import ClusterSimulator, payload_from_fmt
-from repro.net.engine import AsyncSimulator
-from repro.net.monitors import MonitorReport, default_monitors
-from repro.obs.recorder import ObsRecorder
-from repro.sim.channel import BernoulliLoss, NoLoss
 from repro.sim.runtime import Simulator
-from repro.sim.sharded import ShardedSimulator
-from repro.sim.stats import SimStats
-from repro.sim.topology import Topology, arbitration_clusters, topology_from_spec
+from repro.sim.topology import Topology, arbitration_clusters
 from repro.sim.trace import EventKind, Trace
 from repro.spec.idl_spec import check_idl
 from repro.spec.mutex_spec import check_mutex
 from repro.spec.pif_spec import check_pif
 from repro.spec.waves import extract_waves
 from repro.analysis.metrics import summarize
-from repro.types import RequestState
 
 __all__ = [
     "TrialResult",
     "EngineRun",
+    "DRAIN_TICKS",
     "execute_trial",
     "run_pif_trial",
     "run_idl_trial",
@@ -58,28 +68,11 @@ __all__ = [
     "pif_scaling_row",
 ]
 
-#: Ticks every trial runs past the driver's completion, so residual
-#: (never-started) computations drain and — crucially — both engines stop on
-#: the same full tick (the sharded engine detects completion at a window
-#: barrier, which can overshoot the completion tick by up to one window).
-DRAIN_TICKS = 200
-
-
-def _resolve_topology(
-    n: int, topology: Topology | str | None, seed: int
-) -> Topology | None:
-    """Normalize a trial's topology argument (None = the complete graph)."""
-    if isinstance(topology, str):
-        return topology_from_spec(topology, n, seed=seed)
-    return topology
-
-
-def _neighbor_map(run: "EngineRun") -> dict[int, tuple[int, ...]] | None:
-    """Per-pid neighbour sets for spec checks; None on the complete graph
-    (keeps the paper's original global reading in reports)."""
-    if run.topology.is_complete:
-        return None
-    return {p: run.topology.neighbors(p) for p in run.pids}
+#: Per-experiment horizon defaults, applied when neither the caller nor
+#: the spec names one (the ME budget is larger: convergence on rings).
+PIF_HORIZON = 2_000_000
+IDL_HORIZON = 2_000_000
+MUTEX_HORIZON = 6_000_000
 
 
 @dataclass
@@ -116,89 +109,12 @@ class TrialResult:
         }
 
 
-@dataclass
-class EngineRun:
-    """Engine-agnostic outcome of one driven run (any engine)."""
-
-    trace: Trace
-    stats: SimStats
-    #: Driver-tag request state per pid at the final horizon.
-    finals: dict[int, RequestState]
-    completions: list[CompletedRequest]
-    completed: bool
-    final_time: int
-    topology: Topology
-    pids: tuple[int, ...]
-    #: Run provenance: which backend executed the trial and what it cost.
-    engine: str = "serial"
-    transport: str | None = None
-    wall_clock_s: float = 0.0
-    #: Online monitor verdicts (async engine; empty elsewhere).
-    monitor_reports: list[MonitorReport] = field(default_factory=list)
-    #: Sharded/cluster provenance: the active synchronization window, the
-    #: barriers paid and the driver-side sync overhead (None elsewhere).
-    window: int | None = None
-    barriers: int | None = None
-    sync_wall_s: float | None = None
-    #: Cluster provenance: worker-interpreter count, sync mode, per-shard
-    #: simulation wall clock and rendezvous round trips (None elsewhere).
-    hosts: int | None = None
-    sync: str | None = None
-    worker_wall_s: dict[int, float] | None = None
-    registry_round_trips: int | None = None
-    #: Chaos provenance (repro.chaos): injected-fault / recovery counters
-    #: when a fault plan was active (None on fault-free runs).
-    fault_counts: dict[str, int] | None = None
-    recoveries: int | None = None
-    replayed_rounds: int | None = None
-
-    def latencies(self) -> list[int]:
-        return [c.latency for c in self.completions]
-
-    @property
-    def monitors_ok(self) -> bool:
-        return all(r.ok for r in self.monitor_reports)
-
-    def provenance(self) -> dict[str, Any]:
-        """JSON-ready provenance block for bench artifacts."""
-        record: dict[str, Any] = {
-            "engine": self.engine,
-            "transport": self.transport,
-            "wall_clock_s": round(self.wall_clock_s, 4),
-        }
-        if self.window is not None:
-            record["window"] = self.window
-            record["barriers"] = self.barriers
-            record["sync_wall_s"] = round(self.sync_wall_s or 0.0, 4)
-        if self.hosts is not None:
-            record["hosts"] = self.hosts
-            record["sync"] = self.sync
-            walls = self.worker_wall_s or {}
-            record["worker_wall_s"] = {
-                shard: round(seconds, 4) for shard, seconds in walls.items()
-            }
-            #: Load imbalance at a glance: slowest minus fastest shard.
-            record["worker_wall_spread_s"] = (
-                round(max(walls.values()) - min(walls.values()), 4)
-                if walls else 0.0
-            )
-            record["registry_round_trips"] = self.registry_round_trips
-        if self.fault_counts is not None:
-            record["fault_counts"] = dict(sorted(self.fault_counts.items()))
-            if self.recoveries is not None:
-                record["recoveries"] = self.recoveries
-                record["replayed_rounds"] = self.replayed_rounds
-        if self.monitor_reports:
-            record["monitors_ok"] = self.monitors_ok
-            record["monitors"] = [
-                {"name": r.name, "ok": r.ok, "violations": len(r.violations)}
-                for r in self.monitor_reports
-            ]
-        return record
-
-
-def _loss_model(loss: float):
-    return BernoulliLoss(loss) if loss > 0 else NoLoss()
+def _neighbor_map(run: EngineRun) -> dict[int, tuple[int, ...]] | None:
+    """Per-pid neighbour sets for spec checks; None on the complete graph
+    (keeps the paper's original global reading in reports)."""
+    if run.topology.is_complete:
+        return None
+    return {p: run.topology.neighbors(p) for p in run.pids}
 
 
 def _count_cs_grants(trace: Trace, tag: str) -> int:
@@ -210,33 +126,6 @@ def _count_cs_grants(trace: Trace, tag: str) -> int:
         1 for row in trace.kind_rows(EventKind.CS_ENTER)
         if trace.data_at(row).get("tag") == tag
     )
-
-
-class _RoundBudgetGuard:
-    """Incremental CS-grant counter over a growing trace.
-
-    ``exceeded`` is evaluated inside the serial engine's stop predicate —
-    after every event — so it watches the trace's *live* CS_ENTER kind
-    index: the steady-state cost is one ``len()`` per event, and payload
-    dicts are inspected only for the (rare) critical-section entries
-    appended since the last call.
-    """
-
-    def __init__(self, trace: Trace, tag: str, budget: int) -> None:
-        self._rows = trace.kind_rows(EventKind.CS_ENTER)
-        self._data_at = trace.data_at
-        self._tag = tag
-        self.budget = budget
-        self.rounds = 0
-        self._cursor = 0
-
-    def exceeded(self) -> bool:
-        rows = self._rows
-        while self._cursor < len(rows):
-            if self._data_at(rows[self._cursor]).get("tag") == self._tag:
-                self.rounds += 1
-            self._cursor += 1
-        return self.rounds > self.budget
 
 
 def execute_trial(
@@ -267,327 +156,97 @@ def execute_trial(
 ) -> EngineRun:
     """Run one driven trial on the selected engine.
 
-    The shape is identical on every engine: build the system, scramble it
-    into an arbitrary initial configuration, let the request driver issue
-    and await every request (up to ``horizon``), then drain
-    :data:`DRAIN_TICKS` more ticks.  ``engine`` selects the backend:
+    Deprecated keyword spelling: this adapter folds the flat keyword axes
+    into a :class:`~repro.engine.TrialSpec` and delegates to
+    :func:`repro.engine.execute` — new code should build the spec
+    directly.  Behaviour is identical (same trace, stats, finals,
+    completions and provenance); unsupported axis/engine combinations now
+    raise :class:`~repro.errors.SpecError` via the backend's capability
+    declaration instead of ad-hoc guards.
 
-    * ``"serial"`` — one in-process scheduler;
-    * ``"sharded"`` — topology partitioned across forked worker processes
-      (``shards``/``window``);
-    * ``"async"`` — the asyncio runtime (:mod:`repro.net`); ``transport``
-      selects ``"loopback"`` (deterministic) or ``"tcp"`` (real localhost
-      sockets, ``tick`` seconds per tick), with online spec monitors
-      attached either way;
-    * ``"cluster"`` — the multi-host runtime (:mod:`repro.net.cluster`):
-      ``hosts`` worker *interpreters* (fresh OS processes over real
-      sockets), each hosting one shard's AsyncSimulator slice.
-      ``sync="windowed"`` (default) reproduces serial results exactly;
-      ``sync="freerun"`` is best-effort and carries its correctness in
-      the replayed monitor verdicts.  Needs a picklable ``protocol`` spec
-      (build closures cannot cross interpreters) and a driver config
-      whose payload is a ``payload_fmt`` string.  ``cluster_listen``
-      binds the rendezvous registry on a fixed address and waits for
-      hand-launched ``repro cluster-worker`` processes instead of
-      spawning localhost workers.
-
-    ``serial``, ``sharded``, ``async``+``loopback`` and
-    ``cluster``+``windowed`` return bit-identical traces, stats, finals
-    and completions for the same arguments; run provenance (engine,
-    transport, wall clock, barriers, worker wall clocks, monitor
-    verdicts) rides on the :class:`EngineRun` without entering the
-    compared state.
-
-    ``round_budget`` (serial only) aborts the run with
-    :class:`~repro.errors.HorizonExceeded` once more than that many
-    critical-section grants were spent without serving every request —
-    the cheap failure mode for slow-converging configurations such as ME
-    on large rings (see docs/engine.md).
-
-    ``metrics``/``timeline`` name output paths for the :mod:`repro.obs`
-    instruments: a JSON metrics snapshot and a Chrome-trace timeline
-    (cluster workers ship their slices back over CONTROL; the files merge
-    every interpreter of the trial).  Observability reads wall clocks and
-    passive counters only — enabling it never changes the trace, stats or
-    canonical hash of a deterministic run (see docs/observability.md).
+    See :func:`repro.engine.execute` for the pipeline contract and
+    docs/architecture.md for the layer map.
     """
-    top = _resolve_topology(n, topology, seed)
-    scramble_seed = seed ^ 0x5EED
-    driver = dict(driver)
-    tag = driver["tag"]
-    if engine != "cluster" and "payload_fmt" in driver:
-        # The picklable spelling works on every engine: expand it to the
-        # equivalent callable here so RequestDriver stays format-agnostic.
-        driver["payload"] = payload_from_fmt(driver.pop("payload_fmt"))
-    if round_budget is not None and engine != "serial":
-        raise SimulationError(
-            f"round_budget requires engine='serial', got {engine!r}"
-        )
-    if engine != "async" and (transport != "loopback" or tick is not None):
-        raise SimulationError(
-            f"transport={transport!r}/tick={tick!r} require engine='async', "
-            f"got {engine!r} (did you forget --engine async?)"
-        )
-    if engine not in ("sharded", "cluster") and (
-        shards is not None or window is not None
-    ):
-        raise SimulationError(
-            f"shards={shards!r}/window={window!r} require engine='sharded' "
-            f"or 'cluster', got {engine!r} (did you forget --engine sharded?)"
-        )
-    if engine != "cluster" and (
-        hosts is not None or sync is not None or cluster_listen is not None
-    ):
-        raise SimulationError(
-            f"hosts={hosts!r}/sync={sync!r}/cluster_listen={cluster_listen!r} "
-            f"require engine='cluster', got {engine!r} "
-            f"(did you forget --engine cluster?)"
-        )
-    if engine == "cluster" and shards is not None:
-        raise SimulationError(
-            "the cluster engine sizes its partition with hosts=, not shards="
-        )
-    if tick is not None and transport != "tcp":
-        raise SimulationError(
-            f"tick={tick!r} requires transport='tcp' (the loopback transport "
-            f"runs virtual time), got transport={transport!r}"
-        )
-    if fault_plan is not None and engine not in ("async", "cluster"):
-        raise SimulationError(
-            f"fault_plan requires engine='async' or 'cluster', got {engine!r} "
-            "(the serial and sharded engines have no injection boundary)"
-        )
-    obs: ObsRecorder | None = None
-    if metrics is not None or timeline is not None:
-        obs = ObsRecorder(
-            metrics=metrics is not None, timeline=timeline is not None
-        )
-        obs.mark_wire_baseline()
-    start_clock = time.perf_counter()
-    run: EngineRun | None = None
-    if engine == "serial":
-        sim = Simulator(
-            n if top is None else None,
-            build,
-            topology=top,
+    spec = TrialSpec(
+        n=n,
+        build=build,
+        protocol=protocol,
+        topology=topology,
+        seed=seed,
+        loss=loss,
+        capacity=capacity,
+        latency=latency,
+        scramble=scramble,
+        driver=driver,
+        horizon=horizon,
+        round_budget=round_budget,
+        engine=engine,
+        sharding=ShardingOpts(shards=shards, window=window),
+        transport=TransportOpts(transport=transport, tick=tick),
+        cluster=ClusterOpts(hosts=hosts, sync=sync, listen=cluster_listen),
+        chaos=ChaosOpts(plan=resolve_fault_plan(fault_plan)),
+        obs=ObsOpts(metrics=metrics, timeline=timeline),
+    )
+    return execute(spec)
+
+
+def _base_spec(
+    spec: TrialSpec | None,
+    n: int | None,
+    *,
+    seed: int,
+    loss: float,
+    capacity: int,
+    topology: Topology | str | None,
+    latency: tuple[int, int],
+    scramble: bool,
+    engine: str,
+    shards: int | None,
+    window: int | None,
+    transport: str,
+    tick: float | None,
+    round_budget: int | None,
+    hosts: int | None,
+    sync: str | None,
+    cluster_listen: str | None,
+    fault_plan: Any,
+    metrics: str | None,
+    timeline: str | None,
+    horizon: int | None,
+    default_horizon: int,
+) -> TrialSpec:
+    """The axis part of a wrapper's spec: the caller's ready ``spec=`` or
+    one folded from the legacy keywords, with the experiment's horizon
+    default applied."""
+    if spec is None:
+        if n is None:
+            raise SimulationError("trial needs n= (or a ready spec=)")
+        spec = TrialSpec(
+            n=n,
+            topology=topology,
             seed=seed,
-            loss=_loss_model(loss),
+            loss=loss,
             capacity=capacity,
             latency=latency,
-        )
-        if scramble:
-            if obs is not None:
-                with obs.phase("scramble"):
-                    sim.scramble(seed=scramble_seed)
-            else:
-                sim.scramble(seed=scramble_seed)
-        drv = RequestDriver(sim, **driver)
-        serve_ctx = obs.phase("serve") if obs is not None else None
-        if serve_ctx is not None:
-            serve_ctx.__enter__()
-        if round_budget is None:
-            completed = sim.run(horizon, until=lambda s: drv.done)
-        else:
-            guard = _RoundBudgetGuard(sim.trace, tag, round_budget)
-            sim.run(horizon, until=lambda s: drv.done or guard.exceeded())
-            completed = drv.done
-            if not completed and guard.rounds > round_budget:
-                raise HorizonExceeded(
-                    f"round budget of {round_budget} CS grants exhausted "
-                    f"at t={sim.now} before all requests were served",
-                    horizon=horizon,
-                    served=drv.total_completed(),
-                    requested=drv.total_planned(),
-                    rounds=guard.rounds,
-                )
-        if serve_ctx is not None:
-            serve_ctx.__exit__(None, None, None)
-        if obs is not None:
-            with obs.phase("drain"):
-                sim.run(sim.now + DRAIN_TICKS)
-            obs.collect_sim(sim)
-        else:
-            sim.run(sim.now + DRAIN_TICKS)
-        run = EngineRun(
-            trace=sim.trace,
-            stats=sim.stats,
-            finals={p: sim.layer(p, tag).request for p in sim.pids},
-            completions=drv.completed(),
-            completed=completed,
-            final_time=sim.now,
-            topology=sim.topology,
-            pids=sim.pids,
-            engine=engine,
-            wall_clock_s=time.perf_counter() - start_clock,
-        )
-    elif engine == "sharded":
-        sharded = ShardedSimulator(
-            n if top is None else None,
-            build,
-            topology=top,
-            seed=seed,
-            shards=shards,
-            window=window,
-            loss=_loss_model(loss),
-            capacity=capacity,
-            latency=latency,
-        )
-        result = sharded.run_trial(
+            scramble=scramble,
             horizon=horizon,
-            scramble_seed=scramble_seed if scramble else None,
-            driver=driver,
-            drain=DRAIN_TICKS,
-            obs=obs,
-        )
-        run = EngineRun(
-            trace=result.trace,
-            stats=result.stats,
-            finals=result.finals,
-            completions=result.completions,
-            completed=result.completed,
-            final_time=result.final_time,
-            topology=sharded.topology,
-            pids=sharded.pids,
+            round_budget=round_budget,
             engine=engine,
-            wall_clock_s=time.perf_counter() - start_clock,
-            window=result.window,
-            barriers=result.barriers,
-            sync_wall_s=result.sync_wall_s,
+            sharding=ShardingOpts(shards=shards, window=window),
+            transport=TransportOpts(transport=transport, tick=tick),
+            cluster=ClusterOpts(hosts=hosts, sync=sync, listen=cluster_listen),
+            chaos=ChaosOpts(plan=resolve_fault_plan(fault_plan)),
+            obs=ObsOpts(metrics=metrics, timeline=timeline),
         )
-    elif engine == "async":
-        asim = AsyncSimulator(
-            n if top is None else None,
-            build,
-            topology=top,
-            seed=seed,
-            loss=_loss_model(loss),
-            capacity=capacity,
-            latency=latency,
-            transport=transport,
-            fault_plan=fault_plan,
-            **({} if tick is None else {"tick": tick}),
-        )
-        for monitor in default_monitors(tag, asim.topology):
-            asim.attach_monitor(monitor)
-        if obs is not None:
-            with obs.phase("trial", transport=transport):
-                result = asim.run_trial(
-                    horizon=horizon,
-                    scramble_seed=scramble_seed if scramble else None,
-                    driver=driver,
-                    drain=DRAIN_TICKS,
-                )
-            obs.collect_sim(asim)
-        else:
-            result = asim.run_trial(
-                horizon=horizon,
-                scramble_seed=scramble_seed if scramble else None,
-                driver=driver,
-                drain=DRAIN_TICKS,
-            )
-        run = EngineRun(
-            trace=result.trace,
-            stats=result.stats,
-            finals=result.finals,
-            completions=result.completions,
-            completed=result.completed,
-            final_time=result.final_time,
-            topology=asim.topology,
-            pids=asim.pids,
-            engine=engine,
-            transport=transport,
-            wall_clock_s=time.perf_counter() - start_clock,
-            monitor_reports=result.monitor_reports,
-            fault_counts=(
-                dict(asim.fault_counts) if fault_plan is not None else None
-            ),
-        )
-    elif engine == "cluster":
-        cluster = ClusterSimulator(
-            n if top is None else None,
-            protocol,
-            topology=top,
-            seed=seed,
-            hosts=hosts,
-            window=window,
-            sync=sync or "windowed",
-            loss=_loss_model(loss),
-            capacity=capacity,
-            latency=latency,
-            listen=cluster_listen,
-            fault_plan=fault_plan,
-        )
-        result = cluster.run_trial(
-            horizon=horizon,
-            scramble_seed=scramble_seed if scramble else None,
-            driver=driver,
-            drain=DRAIN_TICKS,
-            obs=obs,
-        )
-        # The workers ran monitor-free (their slices see only local
-        # emissions); replay the online automata over the merged trace.
-        # Windowed runs merge to the exact serial trace, so the verdicts
-        # agree with the offline checkers; freerun runs make these the
-        # correctness claim.
-        monitors = default_monitors(tag, cluster.topology)
-        for event_time, kind, process, data in result.trace.scan():
-            for monitor in monitors:
-                monitor.observe(event_time, kind, process, data)
-        run = EngineRun(
-            trace=result.trace,
-            stats=result.stats,
-            finals=result.finals,
-            completions=result.completions,
-            completed=result.completed,
-            final_time=result.final_time,
-            topology=cluster.topology,
-            pids=cluster.pids,
-            engine=engine,
-            wall_clock_s=time.perf_counter() - start_clock,
-            monitor_reports=[m.report() for m in monitors],
-            window=result.window,
-            barriers=result.barriers,
-            sync_wall_s=result.sync_wall_s,
-            hosts=cluster.n_shards,
-            sync=result.sync,
-            worker_wall_s=result.worker_wall_s,
-            registry_round_trips=result.registry_round_trips,
-            fault_counts=(
-                dict(result.fault_counts) if fault_plan is not None else None
-            ),
-            recoveries=result.recoveries if fault_plan is not None else None,
-            replayed_rounds=(
-                result.replayed_rounds if fault_plan is not None else None
-            ),
-        )
-    if run is None:
-        raise SimulationError(
-            f"unknown engine {engine!r}; expected serial, sharded, async "
-            "or cluster"
-        )
-    if obs is not None:
-        obs.collect_monitors(run.monitor_reports)
-        obs.collect_wire()
-        obs.write(
-            metrics,
-            timeline,
-            context={
-                "engine": engine,
-                "n": len(run.pids),
-                "seed": seed,
-                "loss": loss,
-                "topology": run.topology.name,
-                "tag": tag,
-                "transport": transport if engine == "async" else None,
-                "wall_clock_s": round(run.wall_clock_s, 4),
-            },
-        )
-    return run
+    if spec.horizon is None:
+        spec = replace(spec, horizon=default_horizon)
+    return spec
 
 
 def run_pif_trial(
-    n: int,
+    n: int | None = None,
     *,
+    spec: TrialSpec | None = None,
     seed: int = 0,
     loss: float = 0.0,
     requests_per_process: int = 2,
@@ -595,7 +254,7 @@ def run_pif_trial(
     capacity: int = 1,
     max_state: int | None = None,
     topology: Topology | str | None = None,
-    horizon: int = 2_000_000,
+    horizon: int | None = None,
     latency: tuple[int, int] = (1, 3),
     engine: str = "serial",
     shards: int | None = None,
@@ -610,42 +269,33 @@ def run_pif_trial(
     timeline: str | None = None,
 ) -> TrialResult:
     """One PIF trial (E3): all processes broadcast; Specification 1 checked."""
+    spec = _base_spec(
+        spec, n, seed=seed, loss=loss, capacity=capacity, topology=topology,
+        latency=latency, scramble=scramble, engine=engine, shards=shards,
+        window=window, transport=transport, tick=tick, round_budget=None,
+        hosts=hosts, sync=sync, cluster_listen=cluster_listen,
+        fault_plan=fault_plan, metrics=metrics, timeline=timeline,
+        horizon=horizon, default_horizon=PIF_HORIZON,
+    )
     if max_state is None:
-        max_state = capacity + 3
-    run = execute_trial(
-        n,
-        lambda h: h.register(PifLayer("pif", max_state=max_state)),
-        topology=topology,
-        seed=seed,
-        loss=loss,
-        capacity=capacity,
-        latency=latency,
-        scramble=scramble,
+        max_state = spec.capacity + 3
+    spec = replace(
+        spec,
+        build=lambda h: h.register(PifLayer("pif", max_state=max_state)),
+        protocol={"kind": "pif", "max_state": max_state},
         driver=dict(
             tag="pif",
             requests_per_process=requests_per_process,
             payload_fmt="msg-{pid}-{k}",
         ),
-        horizon=horizon,
-        engine=engine,
-        shards=shards,
-        window=window,
-        transport=transport,
-        tick=tick,
-        hosts=hosts,
-        sync=sync,
-        cluster_listen=cluster_listen,
-        fault_plan=fault_plan,
-        protocol={"kind": "pif", "max_state": max_state},
-        metrics=metrics,
-        timeline=timeline,
     )
+    run = execute(spec)
     if not run.completed:
         raise HorizonExceeded(
             "PIF trial did not finish",
-            horizon=horizon,
+            horizon=spec.horizon,
             served=len(run.completions),
-            requested=requests_per_process * n,
+            requested=requests_per_process * len(run.pids),
             window=run.window,
         )
     verdict = check_pif(
@@ -655,8 +305,9 @@ def run_pif_trial(
     waves = [w for w in extract_waves(run.trace, "pif") if w.decided]
     durations = [w.duration for w in waves if w.duration is not None]
     return TrialResult(
-        params={"n": n, "seed": seed, "loss": loss, "capacity": capacity,
-                "topology": run.topology.name, "engine": engine},
+        params={"n": len(run.pids), "seed": spec.seed, "loss": spec.loss,
+                "capacity": spec.capacity, "topology": run.topology.name,
+                "engine": spec.engine},
         ok=verdict.ok,
         violations=len(verdict.violations),
         measurements={
@@ -672,15 +323,16 @@ def run_pif_trial(
 
 
 def run_idl_trial(
-    n: int,
+    n: int | None = None,
     *,
+    spec: TrialSpec | None = None,
     seed: int = 0,
     loss: float = 0.0,
     requests_per_process: int = 2,
     scramble: bool = True,
     idents: dict[int, int] | None = None,
     topology: Topology | str | None = None,
-    horizon: int = 2_000_000,
+    horizon: int | None = None,
     latency: tuple[int, int] = (1, 3),
     engine: str = "serial",
     shards: int | None = None,
@@ -700,35 +352,27 @@ def run_idl_trial(
         ident = idents[host.pid] if idents else None
         host.register(IdlLayer("idl", ident=ident))
 
-    run = execute_trial(
-        n,
-        build,
-        topology=topology,
-        seed=seed,
-        loss=loss,
-        latency=latency,
-        scramble=scramble,
-        driver=dict(tag="idl", requests_per_process=requests_per_process),
-        horizon=horizon,
-        engine=engine,
-        shards=shards,
-        window=window,
-        transport=transport,
-        tick=tick,
-        hosts=hosts,
-        sync=sync,
-        cluster_listen=cluster_listen,
-        fault_plan=fault_plan,
-        protocol={"kind": "idl", "idents": idents},
-        metrics=metrics,
-        timeline=timeline,
+    spec = _base_spec(
+        spec, n, seed=seed, loss=loss, capacity=1, topology=topology,
+        latency=latency, scramble=scramble, engine=engine, shards=shards,
+        window=window, transport=transport, tick=tick, round_budget=None,
+        hosts=hosts, sync=sync, cluster_listen=cluster_listen,
+        fault_plan=fault_plan, metrics=metrics, timeline=timeline,
+        horizon=horizon, default_horizon=IDL_HORIZON,
     )
+    spec = replace(
+        spec,
+        build=build,
+        protocol={"kind": "idl", "idents": idents},
+        driver=dict(tag="idl", requests_per_process=requests_per_process),
+    )
+    run = execute(spec)
     if not run.completed:
         raise HorizonExceeded(
             "IDL trial did not finish",
-            horizon=horizon,
+            horizon=spec.horizon,
             served=len(run.completions),
-            requested=requests_per_process * n,
+            requested=requests_per_process * len(run.pids),
             window=run.window,
         )
     truth = {p: (idents[p] if idents else p) for p in run.pids}
@@ -738,8 +382,8 @@ def run_idl_trial(
     )
     latencies = run.latencies()
     return TrialResult(
-        params={"n": n, "seed": seed, "loss": loss,
-                "topology": run.topology.name, "engine": engine},
+        params={"n": len(run.pids), "seed": spec.seed, "loss": spec.loss,
+                "topology": run.topology.name, "engine": spec.engine},
         ok=verdict.ok,
         violations=len(verdict.violations),
         measurements={
@@ -753,8 +397,9 @@ def run_idl_trial(
 
 
 def run_mutex_trial(
-    n: int,
+    n: int | None = None,
     *,
+    spec: TrialSpec | None = None,
     seed: int = 0,
     loss: float = 0.0,
     requests_per_process: int = 2,
@@ -762,7 +407,7 @@ def run_mutex_trial(
     cs_duration: int = 3,
     use_paper_modulus: bool = False,
     topology: Topology | str | None = None,
-    horizon: int = 6_000_000,
+    horizon: int | None = None,
     require_completion: bool = True,
     latency: tuple[int, int] = (1, 3),
     engine: str = "serial",
@@ -792,40 +437,32 @@ def run_mutex_trial(
     steeply with ring size, making the plain horizon an expensive way to
     detect impractical configurations.
     """
-    run = execute_trial(
-        n,
-        lambda h: h.register(
+    spec = _base_spec(
+        spec, n, seed=seed, loss=loss, capacity=1, topology=topology,
+        latency=latency, scramble=scramble, engine=engine, shards=shards,
+        window=window, transport=transport, tick=tick,
+        round_budget=round_budget, hosts=hosts, sync=sync,
+        cluster_listen=cluster_listen, fault_plan=fault_plan,
+        metrics=metrics, timeline=timeline,
+        horizon=horizon, default_horizon=MUTEX_HORIZON,
+    )
+    spec = replace(
+        spec,
+        build=lambda h: h.register(
             MutexLayer("me", cs_duration=cs_duration,
                        use_paper_modulus=use_paper_modulus)
         ),
-        topology=topology,
-        seed=seed,
-        loss=loss,
-        latency=latency,
-        scramble=scramble,
-        driver=dict(tag="me", requests_per_process=requests_per_process),
-        horizon=horizon,
-        engine=engine,
-        shards=shards,
-        window=window,
-        transport=transport,
-        tick=tick,
-        round_budget=round_budget,
-        hosts=hosts,
-        sync=sync,
-        cluster_listen=cluster_listen,
-        fault_plan=fault_plan,
         protocol={"kind": "me", "cs_duration": cs_duration,
                   "use_paper_modulus": use_paper_modulus},
-        metrics=metrics,
-        timeline=timeline,
+        driver=dict(tag="me", requests_per_process=requests_per_process),
     )
+    run = execute(spec)
     if require_completion and not run.completed:
         raise HorizonExceeded(
             "ME trial did not finish",
-            horizon=horizon,
+            horizon=spec.horizon,
             served=len(run.completions),
-            requested=requests_per_process * n,
+            requested=requests_per_process * len(run.pids),
             rounds=_count_cs_grants(run.trace, "me"),
             window=run.window,
         )
@@ -840,13 +477,13 @@ def run_mutex_trial(
     )
     latencies = run.latencies()
     return TrialResult(
-        params={"n": n, "seed": seed, "loss": loss,
-                "topology": run.topology.name, "engine": engine},
+        params={"n": len(run.pids), "seed": spec.seed, "loss": spec.loss,
+                "topology": run.topology.name, "engine": spec.engine},
         ok=verdict.ok and (run.completed or not require_completion),
         violations=len(verdict.violations),
         measurements={
             "served": len(run.completions),
-            "requested": requests_per_process * n,
+            "requested": requests_per_process * len(run.pids),
             "completed": run.completed,
             "cs_count": verdict.info.get("cs_count", 0),
             "messages": run.stats.sent,

@@ -159,6 +159,17 @@ class FaultPlan:
     def __bool__(self) -> bool:
         return bool(self.faults)
 
+    def __eq__(self, other: object) -> bool:
+        # Plans are equal by schedule, not by surface text: a TrialSpec
+        # provenance round-trip rebuilds the plan from its DSL source, and
+        # whitespace/comments must not break the equality.
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.faults == other.faults
+
+    def __hash__(self) -> int:
+        return hash(self.faults)
+
     @classmethod
     def parse(cls, text: str) -> "FaultPlan":
         return cls(list(_parse_statements(text)), source=text)
@@ -270,10 +281,16 @@ class FaultPlan:
                 "engine (only drop/duplicate/corrupt ship faults keyed by "
                 "pid apply there)"
             )
-        if transport != "tcp":
+        from repro.net.transport import resolve_transport, transport_names
+
+        if not resolve_transport(transport).frame_boundary:
+            framed = tuple(
+                name for name in transport_names()
+                if resolve_transport(name).frame_boundary
+            )
             raise ConfigurationError(
-                "fault plans on the async engine need transport='tcp' "
-                "(loopback has no frame boundary to inject at)"
+                f"fault plans on the async engine need a framed transport "
+                f"{framed} ({transport!r} has no frame boundary to inject at)"
             )
 
 

@@ -25,7 +25,9 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.engine import TrialSpec, engine_names
 from repro.errors import HorizonExceeded, SimulationError
+from repro.net.transport import transport_names
 from repro.analysis.ablations import (
     run_flag_ablation,
     run_modulus_ablation,
@@ -222,15 +224,15 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
              "prefer an explicit budget there)",
     )
     parser.add_argument(
-        "--engine", choices=["serial", "sharded", "async", "cluster"],
+        "--engine", choices=list(engine_names()),
         default="serial",
-        help="execution backend: one in-process scheduler (serial), the "
-             "topology partitioned across worker processes (sharded), the "
-             "asyncio runtime with one coroutine per process (async), or "
-             "per-shard worker interpreters behind real sockets (cluster); "
-             "serial, sharded, async --transport loopback and cluster "
-             "--sync windowed produce identical trace metrics for the same "
-             "seed",
+        help="execution backend (from the repro.engine registry): one "
+             "in-process scheduler (serial), the topology partitioned "
+             "across worker processes (sharded), the asyncio runtime with "
+             "one coroutine per process (async), or per-shard worker "
+             "interpreters behind real sockets (cluster); serial, sharded, "
+             "async --transport loopback and cluster --sync windowed "
+             "produce identical trace metrics for the same seed",
     )
     parser.add_argument(
         "--hosts", type=int, default=None, metavar="N",
@@ -262,14 +264,17 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
              "the latency lower bound (default: exactly that bound)",
     )
     parser.add_argument(
-        "--transport", choices=["loopback", "tcp"], default="loopback",
-        help="channel medium for --engine async: in-process asyncio queues "
-             "(loopback, deterministic) or real localhost TCP sockets (tcp, "
-             "wall-clock best-effort, spec-checked by online monitors)",
+        "--transport", choices=list(transport_names()), default="loopback",
+        help="channel medium for --engine async (from the transport "
+             "registry): in-process asyncio queues (loopback, "
+             "deterministic), real localhost TCP sockets (tcp), or loopback "
+             "UDP datagrams where the network itself is the adversary "
+             "(udp); tcp and udp are wall-clock best-effort, spec-checked "
+             "by online monitors",
     )
     parser.add_argument(
         "--tick", type=float, default=None, metavar="SECONDS",
-        help="wall-clock length of one tick for --transport tcp "
+        help="wall-clock length of one tick for the paced transports "
              "(default 0.001); latency bounds are in ticks, so the default "
              "emulates a 1-3 ms link",
     )
@@ -307,24 +312,6 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _parse_latency_map(entries: Sequence[str]) -> dict[tuple[int, int], tuple[int, int]]:
-    mapping: dict[tuple[int, int], tuple[int, int]] = {}
-    for entry in entries:
-        edge, edge_sep, bounds = entry.partition("=")
-        u, pid_sep, v = edge.partition("-")
-        lo, bound_sep, hi = bounds.partition(":")
-        try:
-            if not (edge_sep and pid_sep and bound_sep):
-                raise ValueError
-            mapping[(int(u), int(v))] = (int(lo), int(hi))
-        except ValueError:
-            raise SimulationError(
-                f"bad --latency-map entry {entry!r}; want SRC-DST=LO:HI "
-                f"(e.g. 1-2=16:32)"
-            ) from None
-    return mapping
-
-
 def _topology_spec(args) -> str | None:
     """Fold the --wan shorthand into the --topology spec string."""
     spec = args.topology
@@ -341,20 +328,11 @@ def _topology_spec(args) -> str | None:
 def _weighted_topology(args, n: int, seed: int):
     """The trial topology argument: a spec string, or — when --latency-map
     layers explicit per-edge bounds over the graph — a built
-    :class:`~repro.sim.topology.Weighted` instance."""
-    spec = _topology_spec(args)
-    entries = getattr(args, "latency_map", None)
-    if entries is None:
-        return spec
-    from repro.sim.topology import Weighted, topology_from_spec
+    :class:`~repro.sim.topology.Weighted` instance.  Delegates to the
+    shared :mod:`repro.engine.spec` helper the spec codec uses."""
+    from repro.engine.spec import _topology_from_args
 
-    base = topology_from_spec(spec or "complete", n, seed=seed)
-    if base.is_weighted:
-        raise SimulationError(
-            f"--latency-map cannot layer over the already-weighted spec "
-            f"{spec!r}; weigh the edges in one map"
-        )
-    return Weighted(base, latency=_parse_latency_map(entries))
+    return _topology_from_args(args, n, seed)
 
 
 def _cmd_figure1(args) -> str:
@@ -377,53 +355,33 @@ def _cmd_impossibility(args) -> str:
 
 def _fault_plan_arg(args):
     """Resolve --fault-plan: inline statements, or @FILE contents."""
-    text = getattr(args, "fault_plan", None)
-    if text is None:
-        return None
-    if text.startswith("@"):
-        from pathlib import Path
+    from repro.engine.spec import resolve_fault_plan
 
-        try:
-            text = Path(text[1:]).read_text()
-        except OSError as exc:
-            raise SimulationError(
-                f"cannot read fault plan file {text[1:]!r}: {exc}"
-            ) from None
-    from repro.chaos import parse_fault_plan
-
-    return parse_fault_plan(text)
+    return resolve_fault_plan(getattr(args, "fault_plan", None))
 
 
 def _cmd_trials(args, runner, title: str) -> str:
-    kwargs = dict(
-        loss=args.loss,
-        requests_per_process=args.requests,
-        topology=_weighted_topology(args, args.n, args.seeds[0]),
-        latency=tuple(args.latency),
-        engine=args.engine, shards=args.shards, window=args.window,
-        transport=args.transport, tick=args.tick,
-        hosts=args.hosts, sync=args.sync, cluster_listen=args.cluster_listen,
-        fault_plan=_fault_plan_arg(args),
-    )
-    if args.horizon is not None:
-        kwargs["horizon"] = args.horizon
-    if getattr(args, "round_budget", None) is not None:
-        kwargs["round_budget"] = args.round_budget
+    # One spec for the whole command (the TrialSpec codec reads every
+    # engine/topology flag); per-trial variation is seed + obs paths.
+    base = TrialSpec.from_cli_args(args)
 
-    def obs_paths(seed: int) -> dict:
-        # One file per trial: multi-seed runs suffix each path by seed.
-        from repro.obs.recorder import indexed_path
+    def per_seed(seed: int) -> TrialSpec:
+        from dataclasses import replace
 
-        paths = {}
-        for opt in ("metrics", "timeline"):
-            path = getattr(args, opt, None)
-            if path is not None:
-                if len(args.seeds) > 1:
-                    path = str(indexed_path(path, f"seed{seed}"))
-                paths[opt] = path
-        return paths
+        spec = replace(base, seed=seed)
+        if len(args.seeds) > 1 and spec.obs.active:
+            # One file per trial: multi-seed runs suffix each path by seed.
+            from repro.obs.recorder import indexed_path
 
-    trials = [runner(args.n, seed=s, **kwargs, **obs_paths(s))
+            spec = spec.with_obs(
+                str(indexed_path(spec.obs.metrics, f"seed{seed}"))
+                if spec.obs.metrics is not None else None,
+                str(indexed_path(spec.obs.timeline, f"seed{seed}"))
+                if spec.obs.timeline is not None else None,
+            )
+        return spec
+
+    trials = [runner(spec=per_seed(s), requests_per_process=args.requests)
               for s in args.seeds]
     keys = ["n", "topology", "engine", "seed", "loss", "ok", "violations"]
     extra = sorted(

@@ -1,0 +1,6 @@
+"""Built-in engine backends.  Importing this package registers all of
+them (:mod:`repro.engine.registry` bootstraps by importing it)."""
+
+from repro.engine.backends import async_, cluster, serial, sharded
+
+__all__ = ["serial", "sharded", "async_", "cluster"]

@@ -1,0 +1,141 @@
+"""The serial backend: one in-process discrete-event scheduler."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.requests import RequestDriver
+from repro.errors import HorizonExceeded, SpecError
+from repro.sim.runtime import Simulator
+from repro.sim.trace import EventKind, Trace
+from repro.engine.base import (
+    DRAIN_TICKS,
+    EngineBackend,
+    EngineRun,
+    PreparedTrial,
+    loss_model,
+    normalized_driver,
+    resolve_topology,
+    scramble_seed_of,
+)
+from repro.engine.registry import register
+from repro.engine.spec import TrialSpec
+
+
+class _RoundBudgetGuard:
+    """Incremental CS-grant counter over a growing trace.
+
+    ``exceeded`` is evaluated inside the serial engine's stop predicate —
+    after every event — so it watches the trace's *live* CS_ENTER kind
+    index: the steady-state cost is one ``len()`` per event, and payload
+    dicts are inspected only for the (rare) critical-section entries
+    appended since the last call.
+    """
+
+    def __init__(self, trace: Trace, tag: str, budget: int) -> None:
+        self._rows = trace.kind_rows(EventKind.CS_ENTER)
+        self._data_at = trace.data_at
+        self._tag = tag
+        self.budget = budget
+        self.rounds = 0
+        self._cursor = 0
+
+    def exceeded(self) -> bool:
+        rows = self._rows
+        while self._cursor < len(rows):
+            if self._data_at(rows[self._cursor]).get("tag") == self._tag:
+                self.rounds += 1
+            self._cursor += 1
+        return self.rounds > self.budget
+
+
+class SerialBackend(EngineBackend):
+    """One in-process scheduler — the reference engine every other
+    backend's equivalence gate compares against."""
+
+    name = "serial"
+    summary = "one in-process scheduler (the bit-identity reference)"
+
+    def capabilities(self) -> frozenset[str]:
+        return frozenset({"obs", "round_budget"})
+
+    def validate(self, spec: TrialSpec) -> None:
+        if spec.build is None:
+            raise SpecError(
+                "the serial backend needs a build callable (spec.build)",
+                backend=self.name, field="build")
+
+    def prepare(self, spec: TrialSpec, obs: Any = None) -> PreparedTrial:
+        top = resolve_topology(spec.n, spec.topology, spec.seed)
+        driver = normalized_driver(spec)
+        sim = Simulator(
+            spec.n if top is None else None,
+            spec.build,
+            topology=top,
+            seed=spec.seed,
+            loss=loss_model(spec.loss),
+            capacity=spec.capacity,
+            latency=spec.latency,
+        )
+        return PreparedTrial(
+            spec=spec, topology=top, driver=driver, tag=driver["tag"],
+            scramble_seed=scramble_seed_of(spec), obs=obs, sim=sim,
+        )
+
+    def run(self, prepared: PreparedTrial) -> EngineRun:
+        spec = prepared.spec
+        sim: Simulator = prepared.sim
+        obs = prepared.obs
+        horizon: int = spec.horizon  # type: ignore[assignment]
+        if prepared.scramble_seed is not None:
+            if obs is not None:
+                with obs.phase("scramble"):
+                    sim.scramble(seed=prepared.scramble_seed)
+            else:
+                sim.scramble(seed=prepared.scramble_seed)
+        drv = RequestDriver(sim, **prepared.driver)
+        serve_ctx = obs.phase("serve") if obs is not None else None
+        if serve_ctx is not None:
+            serve_ctx.__enter__()
+        if spec.round_budget is None:
+            completed = sim.run(horizon, until=lambda s: drv.done)
+        else:
+            guard = _RoundBudgetGuard(sim.trace, prepared.tag,
+                                      spec.round_budget)
+            sim.run(horizon, until=lambda s: drv.done or guard.exceeded())
+            completed = drv.done
+            if not completed and guard.rounds > spec.round_budget:
+                raise HorizonExceeded(
+                    f"round budget of {spec.round_budget} CS grants "
+                    f"exhausted at t={sim.now} before all requests were "
+                    f"served",
+                    horizon=horizon,
+                    served=drv.total_completed(),
+                    requested=drv.total_planned(),
+                    rounds=guard.rounds,
+                )
+        if serve_ctx is not None:
+            serve_ctx.__exit__(None, None, None)
+        if obs is not None:
+            with obs.phase("drain"):
+                sim.run(sim.now + DRAIN_TICKS)
+        else:
+            sim.run(sim.now + DRAIN_TICKS)
+        return EngineRun(
+            trace=sim.trace,
+            stats=sim.stats,
+            finals={p: sim.layer(p, prepared.tag).request for p in sim.pids},
+            completions=drv.completed(),
+            completed=completed,
+            final_time=sim.now,
+            topology=sim.topology,
+            pids=sim.pids,
+            engine=self.name,
+        )
+
+    def collect_obs(self, prepared: PreparedTrial, run: EngineRun) -> None:
+        if prepared.obs is not None:
+            prepared.obs.collect_sim(prepared.sim)
+
+
+register(SerialBackend())

@@ -1,0 +1,73 @@
+"""The engine registry: adding a backend is one ``register`` call.
+
+Built-in backends live in :mod:`repro.engine.backends` and register at
+import; anything else (a plugin, a test double) calls
+:func:`register` with an :class:`~repro.engine.base.EngineBackend`
+instance.  :func:`resolve` is the only lookup the pipeline performs —
+there is no name dispatch anywhere else.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecError
+from repro.engine.base import EngineBackend
+
+__all__ = ["register", "resolve", "unregister", "backends", "engine_names"]
+
+_BACKENDS: dict[str, EngineBackend] = {}
+_BOOTSTRAPPED = False
+
+
+def _bootstrap() -> None:
+    """Import the built-in backends exactly once (import = registration)."""
+    global _BOOTSTRAPPED
+    if _BOOTSTRAPPED:
+        return
+    _BOOTSTRAPPED = True
+    import repro.engine.backends  # noqa: F401 - side effect: register()
+
+
+def register(backend: EngineBackend) -> EngineBackend:
+    """Register a backend under its :attr:`~EngineBackend.name`.
+
+    Names are a flat namespace shared with the built-ins; a collision is
+    an error (two engines answering ``engine=x`` would make provenance
+    ambiguous) — :func:`unregister` first to replace one deliberately.
+    """
+    if not backend.name:
+        raise SpecError("backend declares no name", field="engine")
+    if backend.name in _BACKENDS:
+        raise SpecError(
+            f"engine name {backend.name!r} is already registered "
+            f"(by {type(_BACKENDS[backend.name]).__name__})",
+            field="engine")
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def unregister(name: str) -> None:
+    """Remove a registered backend (test doubles, plugin reload)."""
+    _BACKENDS.pop(name, None)
+
+
+def resolve(name: str) -> EngineBackend:
+    """The backend answering ``engine=name``; :class:`SpecError` if none."""
+    _bootstrap()
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown engine {name!r}; expected one of {engine_names()}",
+            field="engine") from None
+
+
+def backends() -> dict[str, EngineBackend]:
+    """Snapshot of the registry (name → backend)."""
+    _bootstrap()
+    return dict(_BACKENDS)
+
+
+def engine_names() -> tuple[str, ...]:
+    """Registered engine names, sorted (CLI choices, error messages)."""
+    _bootstrap()
+    return tuple(sorted(_BACKENDS))

@@ -15,6 +15,28 @@ class SimulationError(ReproError):
     """The simulator was driven into an inconsistent state."""
 
 
+class SpecError(SimulationError):
+    """A :class:`~repro.engine.TrialSpec` cannot be executed as written.
+
+    The uniform error for every axis/backend mismatch — ``--fault-plan``
+    on serial, ``--sync`` on async, ``--hosts`` on sharded, an unknown
+    engine or transport name, an out-of-range axis value.  Carries the
+    offending ``field`` and the ``backend`` that rejected it so callers
+    (and tests) never have to pattern-match free-form prose.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        backend: str | None = None,
+        field: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.field = field
+
+
 class SchedulerError(SimulationError):
     """Misuse of the discrete-event scheduler (e.g. scheduling in the past)."""
 

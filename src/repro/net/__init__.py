@@ -7,8 +7,9 @@ Runs the paper's protocol layers, unmodified, over real transports:
 * :mod:`repro.net.clock` — the deterministic :class:`VirtualClock`
   (loopback bit-identity with ``engine=serial``) and the wall-clock
   :class:`PacedClock` (tcp best-effort pacing).
-* :mod:`repro.net.transport` — loopback queues and the localhost TCP
-  fabric, both under sender-owned channel accounting.
+* :mod:`repro.net.transport` — the channel-medium registry: loopback
+  queues, the localhost TCP fabric and the UDP datagram fabric, all
+  under sender-owned channel accounting.
 * :mod:`repro.net.wire` — the length-prefixed frame format.
 * :mod:`repro.net.cluster` — the multi-host runtime: per-shard worker
   interpreters (own OS processes) behind the TCP fabric, coordinated
@@ -47,7 +48,18 @@ from repro.net.monitors import (
     default_monitors,
 )
 from repro.net.registry import RegistryClient, RegistryServer
-from repro.net.transport import LoopbackTransport, TcpFabric, TcpTransport, Transport
+from repro.net.transport import (
+    LoopbackTransport,
+    TcpFabric,
+    TcpTransport,
+    Transport,
+    TransportKind,
+    UdpFabric,
+    UdpTransport,
+    register_transport,
+    resolve_transport,
+    transport_names,
+)
 
 __all__ = [
     "AsyncSimulator",
@@ -64,9 +76,15 @@ __all__ = [
     "VirtualClock",
     "PacedClock",
     "Transport",
+    "TransportKind",
+    "register_transport",
+    "resolve_transport",
+    "transport_names",
     "LoopbackTransport",
     "TcpTransport",
     "TcpFabric",
+    "UdpTransport",
+    "UdpFabric",
     "LiveTrace",
     "OnlineMonitor",
     "MonitorReport",

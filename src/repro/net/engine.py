@@ -21,16 +21,21 @@ timers and busy windows land on the engine exactly as they do on the
 serial simulator, and the engine turns them into transport traffic and
 clock events.
 
-Determinism: in ``transport="loopback"`` mode the engine is driven by a
+The medium itself comes from the transport registry
+(:mod:`repro.net.transport`): the engine reads the resolved
+:class:`~repro.net.transport.TransportKind`'s declared flags — never a
+transport name — to pick its clock, build per-channel transports and
+start/stop the trial-scoped fabric.  Under a deterministic, unpaced
+medium (``loopback``) the engine is driven by a
 :class:`~repro.net.clock.VirtualClock` and inherits the serial engine's
 entire decision surface — per-entity RNG streams, canonical event keys,
 sender-owned channel accounting (:mod:`repro.sim.determinism`).  The drive
 loop awaits each routed event before popping the next, so the execution
 order is the serial order and a loopback run is **bit-identical** to
 ``engine=serial`` for the same seed (asserted by ``tests/test_net.py`` and
-the ``async-equivalence`` CI gate).  In ``transport="tcp"`` mode timing is
-wall-clock best-effort — socket scheduling is not reproducible — and the
-online monitors carry the correctness claim instead.
+the ``async-equivalence`` CI gate).  On a wall-clock-paced medium (``tcp``,
+``udp``) timing is best-effort — socket scheduling is not reproducible —
+and the online monitors carry the correctness claim instead.
 """
 
 from __future__ import annotations
@@ -45,7 +50,7 @@ from repro.errors import SimulationError
 from repro.net import wire
 from repro.net.clock import PacedClock, VirtualClock
 from repro.net.monitors import LiveTrace, MonitorReport, OnlineMonitor
-from repro.net.transport import LoopbackTransport, TcpFabric, TcpTransport, Transport
+from repro.net.transport import Transport, resolve_transport, transport_names
 from repro.sim.adversary import scramble_system
 from repro.sim.channel import ChannelBase
 from repro.sim.determinism import key_owner
@@ -56,11 +61,14 @@ from repro.types import RequestState
 
 __all__ = ["AsyncSimulator", "NetRunResult", "ProcessActor", "TRANSPORTS"]
 
-TRANSPORTS = ("loopback", "tcp")
+#: Registered transport names (importing repro.net.transport registered
+#: the built-in media).  Kept as a module attribute for backward compat;
+#: new media registered later naturally appear via transport_names().
+TRANSPORTS = transport_names()
 
-#: Default wall-clock tick length for the tcp transport: 1 ms, so the
+#: Default wall-clock tick length for the paced transports: 1 ms, so the
 #: default (1, 3)-tick latency band emulates a 1-3 ms link — an order of
-#: magnitude above localhost TCP jitter, keeping tick timestamps meaningful.
+#: magnitude above localhost socket jitter, keeping tick timestamps meaningful.
 DEFAULT_TICK_SECONDS = 0.001
 
 
@@ -150,9 +158,9 @@ class AsyncSimulator(Simulator):
     """Asyncio-driven runtime behind the ``engine=async`` axis.
 
     Constructor arguments mirror :class:`~repro.sim.runtime.Simulator`;
-    ``transport`` selects the channel medium (``"loopback"`` or ``"tcp"``)
-    and ``tick`` the wall-clock tick length for tcp.  ``monitors`` attach
-    online spec automata to the live trace.
+    ``transport`` names a registered channel medium (:data:`TRANSPORTS`)
+    and ``tick`` the wall-clock tick length for the paced media.
+    ``monitors`` attach online spec automata to the live trace.
     """
 
     def __init__(
@@ -166,10 +174,7 @@ class AsyncSimulator(Simulator):
         fault_plan: "FaultPlan | str | None" = None,
         **sim_kwargs: Any,
     ) -> None:
-        if transport not in TRANSPORTS:
-            raise SimulationError(
-                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
-            )
+        self._kind = resolve_transport(transport)
         if "auto" in sim_kwargs:
             raise SimulationError(
                 "'auto' is not configurable on the async engine"
@@ -185,15 +190,17 @@ class AsyncSimulator(Simulator):
         self._actors: dict[int, ProcessActor] = {}
         self._net_errors: list[BaseException] = []
         self._tasks: set[asyncio.Task] = set()
-        self._fabric: TcpFabric | None = None
+        self._fabric: Any | None = None
+        self._fabric_obs: dict[str, int] = {}
         self._consumed = False
         # Passive obs counters (harvested by collect_obs): actor handoffs
         # the router paid vs elided via the empty-inbox fast path.
         self._handoffs_taken = 0
         self._handoffs_elided = 0
         # Chaos fault injection (repro.chaos): only pid-keyed ship faults
-        # apply here — they rewrite MESSAGE frames at the TcpTransport
-        # boundary.  Crash/cut/stall faults need the cluster runtime.
+        # apply here — they rewrite MESSAGE frames at the frame boundary of
+        # a framed transport.  Crash/cut/stall faults need the cluster
+        # runtime.
         if isinstance(fault_plan, str):
             fault_plan = FaultPlan.parse(fault_plan)
         if fault_plan is not None:
@@ -213,9 +220,9 @@ class AsyncSimulator(Simulator):
     # -- engine extension points (see Simulator) ---------------------------
 
     def _make_scheduler(self) -> Scheduler:
-        if self.transport == "loopback":
-            return VirtualClock()
-        return PacedClock(self.tick)
+        if self._kind.paced:
+            return PacedClock(self.tick)
+        return VirtualClock()
 
     def _make_trace(self) -> LiveTrace:
         return LiveTrace()
@@ -230,16 +237,19 @@ class AsyncSimulator(Simulator):
         pair = (channel.src, channel.dst)
         transport = self._transports.get(pair)
         if transport is None:
-            if self.transport == "loopback":
-                transport = LoopbackTransport(self, channel)
-            else:
-                if self._fabric is None:
-                    raise SimulationError(
-                        "tcp transport used outside run_trial (no socket fabric)"
-                    )
-                transport = TcpTransport(self, channel, self._fabric)
+            transport = self._kind.channel_factory(self, channel)
             self._transports[pair] = transport
         transport.send(entry)
+
+    def require_fabric(self) -> Any:
+        """The trial-scoped medium (sockets/endpoints); channel factories
+        of fabric-backed transports call this at first send."""
+        if self._fabric is None:
+            raise SimulationError(
+                f"{self.transport} transport used outside run_trial "
+                "(no socket fabric)"
+            )
+        return self._fabric
 
     def _spawn(self, coro: Coroutine, *, name: str) -> asyncio.Task:
         """Track a transport I/O task; its failure fails the trial."""
@@ -285,7 +295,7 @@ class AsyncSimulator(Simulator):
             return [wire.truncate_frame(frame)]
         return [frame]
 
-    def _tcp_arrival(self, src: int, dst: int, msg, entry_seq: int) -> None:
+    def _socket_arrival(self, src: int, dst: int, msg, entry_seq: int) -> None:
         """A frame arrived for ``dst``: dispatch inside its coroutine."""
         self.scheduler.touch()  # arrival timestamps/busy checks read wall time
         actor = self._actors[dst]
@@ -377,11 +387,12 @@ class AsyncSimulator(Simulator):
         self.start_actors()
         clock = self.scheduler
         try:
-            if self.transport == "tcp":
-                self._fabric = TcpFabric(self)
+            if self._kind.fabric_factory is not None:
+                self._fabric = self._kind.fabric_factory(self)
                 await self._fabric.start()
+            if self._kind.paced:
                 assert isinstance(clock, PacedClock)
-                clock.start()  # tick 0 excludes connection setup
+                clock.start()  # tick 0 excludes fabric setup
             if scramble_seed is not None:
                 scramble_system(self, scramble_seed, fill_channels=fill_channels)
             drv = RequestDriver(self, **driver) if driver is not None else None
@@ -434,6 +445,8 @@ class AsyncSimulator(Simulator):
             transport.frames_sent for transport in self._transports.values()
         )
         metrics.inc("transport.channel_frames", frames)
+        for name, value in sorted(self._fabric_obs.items()):
+            metrics.inc(name, value)
 
     async def _teardown(self) -> None:
         for transport in self._transports.values():
@@ -449,5 +462,10 @@ class AsyncSimulator(Simulator):
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         if self._fabric is not None:
+            # Harvest the medium's own counters before the sockets go away
+            # (collect_obs runs after run_trial, when the fabric is gone).
+            stats = getattr(self._fabric, "obs_stats", None)
+            if stats is not None:
+                self._fabric_obs = stats()
             await self._fabric.close()
             self._fabric = None

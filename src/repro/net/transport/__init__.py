@@ -1,0 +1,33 @@
+"""Channel transports for the async engine, one module per medium.
+
+Importing this package registers every built-in medium: ``loopback``
+(deterministic, bit-identical to serial), ``tcp`` (real localhost
+sockets, wall-clock best-effort) and ``udp`` (loopback datagrams, the
+real network as the adversary).  Third-party media register the same
+way — a leaf module calling :func:`register_transport`; nothing in the
+engine, runner or CLI names a medium.
+"""
+
+from repro.net.transport.base import (
+    Transport,
+    TransportKind,
+    register_transport,
+    resolve_transport,
+    transport_names,
+)
+from repro.net.transport.loopback import LoopbackTransport
+from repro.net.transport.tcp import TcpFabric, TcpTransport
+from repro.net.transport.udp import UdpFabric, UdpTransport
+
+__all__ = [
+    "Transport",
+    "TransportKind",
+    "register_transport",
+    "resolve_transport",
+    "transport_names",
+    "LoopbackTransport",
+    "TcpTransport",
+    "TcpFabric",
+    "UdpTransport",
+    "UdpFabric",
+]

@@ -1,0 +1,46 @@
+"""The loopback medium: in-process delivery through asyncio queues.
+
+The message never leaves the process: its delivery is posted to the
+engine's clock under the canonical delivery key and travels through the
+receiving coroutine's asyncio queue.  Under the
+:class:`~repro.net.clock.VirtualClock` this reproduces the serial
+engine's delivery schedule *exactly* (same stream, same draw, same FIFO
+clamp, same key), which is the transport half of the loopback
+bit-identity guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.sim.channel import _Entry
+from repro.sim.runtime import Simulator
+from repro.net.transport.base import (
+    Transport,
+    TransportKind,
+    register_transport,
+)
+
+__all__ = ["LoopbackTransport"]
+
+
+class LoopbackTransport(Transport):
+    """In-process transport: deliveries travel through asyncio queues."""
+
+    def send(self, entry: _Entry) -> None:
+        # Delegate to the serial engine's scheduling — the latency draw,
+        # FIFO clamp and canonical delivery key are determinism-critical
+        # and must stay single-sourced (the explicit base-class call is
+        # what breaks the override recursion; every pid is hosted here, so
+        # the cross-shard branch is dead).  The clock then routes the
+        # posted delivery into the destination coroutine's inbox queue —
+        # the "loopback medium" — at the canonical position.
+        Simulator._schedule_delivery(self.engine, self.channel, entry)
+
+
+register_transport(TransportKind(
+    name="loopback",
+    deterministic=True,
+    paced=False,
+    frame_boundary=False,
+    channel_factory=LoopbackTransport,
+    summary="in-process asyncio queues, bit-identical to serial",
+))

@@ -72,6 +72,7 @@ __all__ = [
     "WireStats",
     "pack_frame",
     "read_frame",
+    "split_frame",
     "encode_hello",
     "decode_hello",
     "encode_message",
@@ -209,6 +210,37 @@ async def read_frame(
     in_bytes = STATS.bytes_in
     in_bytes[kind] = in_bytes.get(kind, 0) + _HEADER.size + length
     return kind, payload
+
+
+def split_frame(
+    data: bytes, *, max_frame: int = MAX_FRAME
+) -> tuple[int, bytes, bytes]:
+    """Split one frame off the front of an in-memory buffer.
+
+    The datagram-side counterpart of :func:`read_frame`: a UDP datagram
+    arrives whole, so framing is a buffer walk, not a stream read.
+    Returns ``(kind, payload, rest)`` where ``rest`` is everything after
+    the frame (a datagram packs HELLO + MESSAGE back to back).  Raises
+    :class:`WireError` on a short buffer, version or kind mismatch, or a
+    length prefix that overruns ``max_frame`` or the buffer itself.
+    """
+    if len(data) < _HEADER.size:
+        raise WireError(f"buffer of {len(data)} bytes is shorter than a frame header")
+    kind, version, length = _HEADER.unpack_from(data)
+    if version != PROTOCOL_VERSION:
+        raise WireError(f"peer speaks wire version {version}, expected {PROTOCOL_VERSION}")
+    if kind not in KINDS:
+        raise WireError(f"unknown frame kind 0x{kind:02x}")
+    if length > max_frame:
+        raise WireError(f"frame length {length} exceeds {max_frame}")
+    end = _HEADER.size + length
+    if len(data) < end:
+        raise WireError(f"frame length {length} overruns a {len(data)}-byte buffer")
+    frames = STATS.frames_in
+    frames[kind] = frames.get(kind, 0) + 1
+    in_bytes = STATS.bytes_in
+    in_bytes[kind] = in_bytes.get(kind, 0) + end
+    return kind, data[_HEADER.size:end], data[end:]
 
 
 def encode_hello(src: int) -> bytes:

@@ -125,7 +125,7 @@ def test_execute_trial_rejects_hosts_without_cluster_engine():
 def test_execute_trial_rejects_shards_with_cluster_engine():
     driver = dict(tag="pif", requests_per_process=1,
                   payload_fmt="m-{pid}-{k}")
-    with pytest.raises(SimulationError, match="hosts=, not shards="):
+    with pytest.raises(SimulationError, match="shards requires engine='sharded'"):
         execute_trial(4, lambda h: h.register(PifLayer("pif")),
                       driver=driver, horizon=100,
                       engine="cluster", shards=2, protocol={"kind": "pif"})

@@ -1,0 +1,274 @@
+"""TrialSpec, the backend registry, and the capability gate.
+
+The PR-10 refactor contracts under test:
+
+* the deprecated keyword spelling of ``execute_trial`` and a directly
+  built :class:`TrialSpec` produce *identical* runs — same canonical
+  trace hash, same provenance record;
+* every unsupported axis/engine combination raises one uniform
+  :class:`SpecError` naming the backend and the offending field;
+* the spec codecs round-trip: ``from_cli_args`` → ``as_provenance`` →
+  ``from_provenance`` is lossless for codable specs (hypothesis-fuzzed);
+* every engine's provenance record validates against the one shared
+  schema (:func:`validate_run_provenance`);
+* the registry is a flat namespace: unknown engines fail with the
+  available names, collisions are errors, unregister works.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.runner import execute_trial
+from repro.core.pif import PifLayer
+from repro.engine import (
+    ChaosOpts,
+    ClusterOpts,
+    EngineBackend,
+    ShardingOpts,
+    TransportOpts,
+    TrialSpec,
+    engine_names,
+    execute,
+    register,
+    resolve,
+    unregister,
+    validate_run_provenance,
+)
+from repro.errors import SpecError
+from repro.sim.trace import canonical_trace_hash
+
+BUILD = lambda h: h.register(PifLayer("pif"))  # noqa: E731
+DRIVER = dict(tag="pif", requests_per_process=1, payload_fmt="m-{pid}-{k}")
+
+
+def _spec(**over) -> TrialSpec:
+    base = dict(n=5, build=BUILD, protocol={"kind": "pif"}, seed=3,
+                loss=0.1, driver=dict(DRIVER), horizon=50_000)
+    base.update(over)
+    return TrialSpec(**base)
+
+
+# -- kwargs adapter == spec pipeline --------------------------------------
+
+
+@pytest.mark.parametrize("engine,extra", [
+    ("serial", {}),
+    ("sharded", {"shards": 2}),
+    ("async", {}),
+])
+def test_execute_trial_kwargs_equals_spec(engine, extra):
+    via_kwargs = execute_trial(
+        5, BUILD, seed=3, loss=0.1, driver=dict(DRIVER),
+        horizon=50_000, engine=engine, protocol={"kind": "pif"}, **extra,
+    )
+    via_spec = execute(_spec(
+        engine=engine,
+        sharding=ShardingOpts(shards=extra.get("shards")),
+    ))
+    assert (canonical_trace_hash(via_kwargs.trace)
+            == canonical_trace_hash(via_spec.trace))
+
+    def comparable(run):
+        record = run.provenance()
+        record.pop("wall_clock_s")
+        record.pop("sync_wall_s", None)  # wall clock too
+        return record
+
+    assert comparable(via_kwargs) == comparable(via_spec)
+
+
+# -- the uniform capability error -----------------------------------------
+
+#: (engine, offending axes, the field the error must name).  One row per
+#: populated-axis/engine pair the capability table rejects.
+UNSUPPORTED = [
+    ("serial", dict(sharding=ShardingOpts(shards=2)), "shards"),
+    ("serial", dict(sharding=ShardingOpts(window=8)), "window"),
+    ("serial", dict(transport=TransportOpts(tick=0.01)), "tick"),
+    ("serial", dict(transport=TransportOpts(transport="tcp")), "transport"),
+    ("serial", dict(cluster=ClusterOpts(hosts=2)), "hosts"),
+    ("serial", dict(chaos=ChaosOpts(plan="drop ship from 1 count 1")),
+     "fault_plan"),
+    ("sharded", dict(round_budget=4), "round_budget"),
+    ("sharded", dict(transport=TransportOpts(transport="udp")), "transport"),
+    ("sharded", dict(cluster=ClusterOpts(sync="freerun")), "sync"),
+    ("sharded", dict(chaos=ChaosOpts(plan="crash worker 0 at barrier 1")),
+     "fault_plan"),
+    ("async", dict(round_budget=4), "round_budget"),
+    ("async", dict(sharding=ShardingOpts(shards=2)), "shards"),
+    ("async", dict(cluster=ClusterOpts(hosts=2)), "hosts"),
+    ("async", dict(cluster=ClusterOpts(listen="0:0")), "cluster_listen"),
+    ("cluster", dict(round_budget=4), "round_budget"),
+    ("cluster", dict(sharding=ShardingOpts(shards=2)), "shards"),
+    ("cluster", dict(transport=TransportOpts(tick=0.01)), "tick"),
+    ("cluster", dict(transport=TransportOpts(transport="udp")), "transport"),
+]
+
+
+@pytest.mark.parametrize("engine,axes,fieldname", UNSUPPORTED)
+def test_unsupported_axis_is_one_uniform_spec_error(engine, axes, fieldname):
+    with pytest.raises(SpecError) as err:
+        execute(_spec(engine=engine, **axes))
+    assert err.value.backend == engine
+    assert err.value.field == fieldname
+    message = str(err.value)
+    assert f"the {engine!r} backend" in message
+    assert "requires engine=" in message
+
+
+def test_unknown_engine_names_the_registry():
+    with pytest.raises(SpecError, match=r"unknown engine 'warp'"):
+        execute(_spec(engine="warp"))
+
+
+def test_unknown_transport_names_the_registry():
+    with pytest.raises(SpecError, match="unknown transport 'carrier-pigeon'"):
+        execute(_spec(
+            engine="async",
+            transport=TransportOpts(transport="carrier-pigeon"),
+        ))
+
+
+# -- codecs ---------------------------------------------------------------
+
+_PLANS = st.sampled_from([
+    None,
+    "",
+    "drop ship from 1 round 2..4 count 2",
+    "crash worker 1 at barrier 3\ncut link 0->1 for rounds 2..3",
+])
+
+_NAMESPACES = st.fixed_dictionaries({
+    "n": st.integers(min_value=1, max_value=64),
+    "seeds": st.lists(st.integers(0, 2**31), min_size=0, max_size=3),
+    "loss": st.floats(0.0, 1.0, allow_nan=False),
+    "topology": st.sampled_from(
+        [None, "ring", "clustered:4", "wan:4", "line"]),
+    "latency": st.tuples(st.integers(1, 4), st.integers(4, 9)),
+    "horizon": st.one_of(st.none(), st.integers(1, 10**7)),
+    "round_budget": st.one_of(st.none(), st.integers(0, 100)),
+    "engine": st.sampled_from(engine_names()),
+    "shards": st.one_of(st.none(), st.integers(1, 8)),
+    "window": st.one_of(st.none(), st.integers(1, 64)),
+    "transport": st.sampled_from(["loopback", "tcp", "udp"]),
+    "tick": st.one_of(st.none(), st.floats(0.001, 1.0, allow_nan=False)),
+    "hosts": st.one_of(st.none(), st.integers(1, 8)),
+    "sync": st.sampled_from([None, "windowed", "freerun"]),
+    "cluster_listen": st.sampled_from([None, "127.0.0.1:0"]),
+    "fault_plan": _PLANS,
+    "metrics": st.sampled_from([None, "m.json"]),
+    "timeline": st.sampled_from([None, "t.json"]),
+})
+
+
+@settings(max_examples=150, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(_NAMESPACES)
+def test_cli_spec_provenance_round_trip_is_lossless(fields):
+    args = argparse.Namespace(**fields)
+    spec = TrialSpec.from_cli_args(args)
+    assert spec.codable()
+    record = spec.as_provenance()
+    rebuilt = TrialSpec.from_provenance(record)
+    assert rebuilt == spec
+    # A second encode must be byte-for-byte stable, too.
+    assert rebuilt.as_provenance() == record
+
+
+def test_round_trip_drops_callables_but_keeps_axes():
+    spec = _spec(engine="sharded", sharding=ShardingOpts(shards=2, window=8))
+    assert not spec.codable()  # build + payload-capable driver intact
+    rebuilt = TrialSpec.from_provenance(spec.as_provenance())
+    assert rebuilt == replace(spec, build=None)
+
+
+def test_provenance_version_gate():
+    record = _spec().as_provenance()
+    record["spec_version"] = 99
+    with pytest.raises(SpecError, match="spec_version"):
+        TrialSpec.from_provenance(record)
+
+
+def test_spec_validation_rejects_bad_axes():
+    for over, fieldname in [
+        (dict(n=0), "n"),
+        (dict(loss=1.5), "loss"),
+        (dict(capacity=0), "capacity"),
+        (dict(latency=(3, 1)), "latency"),
+        (dict(horizon=0), "horizon"),
+        (dict(driver={"requests_per_process": 1}), "driver"),
+        (dict(transport=TransportOpts(tick=-1.0)), "tick"),
+    ]:
+        with pytest.raises(SpecError) as err:
+            _spec(**over).validate()
+        assert err.value.field == fieldname
+
+
+# -- one provenance schema for every engine -------------------------------
+
+
+@pytest.mark.parametrize("engine,axes", [
+    ("serial", {}),
+    ("sharded", dict(sharding=ShardingOpts(shards=2))),
+    ("async", {}),
+    ("async", dict(transport=TransportOpts(transport="udp"))),
+    ("cluster", dict(cluster=ClusterOpts(hosts=2))),
+])
+def test_every_engine_fits_the_provenance_schema(engine, axes):
+    run = execute(_spec(engine=engine, **axes))
+    record = run.provenance()
+    validate_run_provenance(record)
+    assert record["engine"] == engine
+
+
+def test_provenance_schema_rejects_malformed_records():
+    with pytest.raises(SpecError, match="misses 'engine'"):
+        validate_run_provenance({"transport": None, "wall_clock_s": 0.0})
+    with pytest.raises(SpecError, match="unknown keys"):
+        validate_run_provenance({"engine": "serial", "transport": None,
+                                 "wall_clock_s": 0.0, "surprise": 1})
+    with pytest.raises(SpecError, match="section key"):
+        validate_run_provenance({"engine": "cluster", "transport": "tcp",
+                                 "wall_clock_s": 0.0, "hosts": 2})
+
+
+# -- the registry is a flat namespace -------------------------------------
+
+
+class _NullBackend(EngineBackend):
+    name = "null-test"
+    summary = "test double"
+
+    def capabilities(self):
+        return frozenset({"obs"})
+
+    def prepare(self, spec, obs=None):
+        raise NotImplementedError
+
+    def run(self, prepared):
+        raise NotImplementedError
+
+
+def test_registry_register_resolve_unregister():
+    backend = _NullBackend()
+    try:
+        assert register(backend) is backend
+        assert resolve("null-test") is backend
+        assert "null-test" in engine_names()
+        with pytest.raises(SpecError, match="already registered"):
+            register(_NullBackend())
+    finally:
+        unregister("null-test")
+    assert "null-test" not in engine_names()
+    with pytest.raises(SpecError, match="expected one of"):
+        resolve("null-test")
+
+
+def test_builtin_backends_present():
+    assert engine_names() == ("async", "cluster", "serial", "sharded")
